@@ -1,0 +1,26 @@
+"""Ablation benchmark: covering benefit vs. subscriber interest
+similarity (quantifying the paper's §5 claim)."""
+
+import pytest
+
+from repro.experiments.ablation_interest import run_interest_ablation
+
+
+@pytest.mark.paper
+def test_covering_benefit_grows_with_interest_similarity(
+    benchmark, report_sink
+):
+    result = benchmark.pedantic(
+        lambda: run_interest_ablation(), rounds=1, iterations=1
+    )
+    report_sink.append(result.format())
+
+    rows = result.rows()
+    similarities = [row["similarity"] for row in rows]
+    savings = [row["saved_pct"] for row in rows]
+    # Similarity must respond to the skew knob...
+    assert similarities[-1] > similarities[0] * 2
+    # ...and the paper's claim: aligned interests save clearly more
+    # than dissimilar ones (compare the extremes' neighbourhoods).
+    assert max(savings[-2:]) > savings[0] * 1.5
+    assert all(s > 0 for s in savings)

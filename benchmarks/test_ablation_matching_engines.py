@@ -1,0 +1,85 @@
+"""Ablation: the three publication-matching engines.
+
+The paper's §5 references a comparison with YFilter: the covering tree
+wins on high-overlap, wildcard-heavy workloads (covered subtrees are
+pruned), YFilter on low-match workloads (shared prefixes are cheap to
+reject).  This ablation times the flat scan, the covering tree and the
+YFilter NFA on one workload and checks the engines agree.
+"""
+
+import pytest
+
+from repro.matching.engine import LinearMatcher, TreeMatcher
+from repro.matching.predicate_index import PredicateIndexMatcher
+from repro.matching.yfilter import YFilterMatcher
+from repro.dtd.samples import nitf_dtd
+from repro.workloads.document_generator import generate_documents
+
+
+@pytest.fixture(scope="module")
+def workload(paper_sets):
+    dataset_a, _ = paper_sets
+    docs = generate_documents(nitf_dtd(), 10, seed=21, target_bytes=2048)
+    paths = [p.path for doc in docs for p in doc.publications()]
+    return list(dataset_a.exprs), paths
+
+
+def _build(engine_cls, exprs):
+    engine = engine_cls()
+    for index, expr in enumerate(exprs):
+        engine.add(expr, index)
+    return engine
+
+
+def _route_all(engine, paths):
+    return [engine.match(path) for path in paths]
+
+
+@pytest.mark.paper
+def test_linear_scan(benchmark, workload):
+    exprs, paths = workload
+    engine = _build(LinearMatcher, exprs)
+    benchmark.pedantic(lambda: _route_all(engine, paths), rounds=1, iterations=1)
+
+
+@pytest.mark.paper
+def test_covering_tree(benchmark, workload):
+    exprs, paths = workload
+    engine = _build(TreeMatcher, exprs)
+    benchmark.pedantic(lambda: _route_all(engine, paths), rounds=1, iterations=1)
+
+
+@pytest.mark.paper
+def test_yfilter_nfa(benchmark, workload):
+    exprs, paths = workload
+    engine = _build(YFilterMatcher, exprs)
+    benchmark.pedantic(lambda: _route_all(engine, paths), rounds=1, iterations=1)
+
+
+@pytest.mark.paper
+def test_predicate_index(benchmark, workload):
+    exprs, paths = workload
+    engine = _build(PredicateIndexMatcher, exprs)
+    benchmark.pedantic(lambda: _route_all(engine, paths), rounds=1, iterations=1)
+
+
+@pytest.mark.paper
+def test_engines_agree(benchmark, workload):
+    exprs, paths = workload
+    engines = [
+        _build(cls, exprs)
+        for cls in (
+            LinearMatcher,
+            TreeMatcher,
+            YFilterMatcher,
+            PredicateIndexMatcher,
+        )
+    ]
+
+    def check():
+        for path in paths[:40]:
+            results = [engine.match(path) for engine in engines]
+            assert all(result == results[0] for result in results), path
+        return True
+
+    assert benchmark.pedantic(check, rounds=1, iterations=1)

@@ -1,0 +1,19 @@
+"""Scalability sweep benchmark: the paper's closing claim that the
+optimisations pay more in larger networks."""
+
+import pytest
+
+from repro.experiments.scalability import run_scalability_sweep
+
+
+@pytest.mark.paper
+def test_benefit_grows_with_overlay_size(benchmark, report_sink):
+    result = benchmark.pedantic(
+        lambda: run_scalability_sweep(), rounds=1, iterations=1
+    )
+    report_sink.append(result.format())
+
+    factors = result.column("benefit_factor")
+    # Strictly growing benefit with network size (the paper's claim).
+    assert all(b > a for a, b in zip(factors, factors[1:])), factors
+    assert factors[-1] > 2.0

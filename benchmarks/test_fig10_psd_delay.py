@@ -1,0 +1,23 @@
+"""Figure 10 benchmark: notification delay vs. hops (PSD documents)."""
+
+import pytest
+
+from repro.experiments.fig10_11 import run_fig10
+
+
+@pytest.mark.paper
+def test_fig10_psd_notification_delay(benchmark, report_sink):
+    result = benchmark.pedantic(
+        lambda: run_fig10(scale=0.6), rounds=1, iterations=1
+    )
+    report_sink.append(result.format())
+
+    rows = result.rows()
+    assert len(rows) >= 4
+    # Paper shape: delay grows with hop count for every series.
+    for key in ("2K_cov_ms", "2K_nocov_ms", "20K_cov_ms"):
+        series = [row[key] for row in rows if row.get(key) is not None]
+        assert series[-1] > series[0]
+    # Covering is no slower than non-covering at the far end.
+    last = rows[-1]
+    assert last["20K_cov_ms"] <= last["20K_nocov_ms"] * 1.05

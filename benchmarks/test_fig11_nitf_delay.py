@@ -1,0 +1,22 @@
+"""Figure 11 benchmark: notification delay vs. hops (NITF documents)."""
+
+import pytest
+
+from repro.experiments.fig10_11 import run_fig11
+
+
+@pytest.mark.paper
+def test_fig11_nitf_notification_delay(benchmark, report_sink):
+    result = benchmark.pedantic(
+        lambda: run_fig11(scale=0.6), rounds=1, iterations=1
+    )
+    report_sink.append(result.format())
+
+    rows = result.rows()
+    assert len(rows) >= 4
+    for key in ("2K_cov_ms", "2K_nocov_ms", "40K_cov_ms"):
+        series = [row[key] for row in rows if row.get(key) is not None]
+        assert series[-1] > series[0]
+    # Larger documents take longer per hop (transmission dominates).
+    last = rows[-1]
+    assert last["40K_cov_ms"] > last["2K_cov_ms"]

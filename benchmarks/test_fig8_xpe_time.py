@@ -1,0 +1,27 @@
+"""Figure 8 benchmark: per-XPE processing time with/without covering."""
+
+import pytest
+
+from repro.experiments.fig8 import run_fig8
+
+SCALE = 0.12  # 600 of the paper's 5,000 XPEs per DTD
+
+
+@pytest.mark.paper
+def test_fig8_xpe_processing_time(benchmark, report_sink):
+    result = benchmark.pedantic(
+        lambda: run_fig8(scale=SCALE), rounds=1, iterations=1
+    )
+    report_sink.append(result.format())
+
+    last = result.rows()[-1]
+    # Paper shape: covering clearly cheaper for NITF (the advertisement
+    # set is ~35-43x larger, so skipping advertisement matching pays);
+    # for PSD the paper reports a small win — with our stand-in's tiny
+    # advertisement set the two sides land near parity, so only a
+    # no-large-regression bound is asserted (see EXPERIMENTS.md).
+    assert last["nitf_with_cov_ms"] < 0.5 * last["nitf_without_cov_ms"]
+    assert last["psd_with_cov_ms"] < 2.5 * last["psd_without_cov_ms"]
+    nitf_gain = last["nitf_without_cov_ms"] - last["nitf_with_cov_ms"]
+    psd_gain = last["psd_without_cov_ms"] - last["psd_with_cov_ms"]
+    assert nitf_gain > psd_gain

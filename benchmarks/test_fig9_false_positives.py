@@ -1,0 +1,28 @@
+"""Figure 9 benchmark: false positives vs. imperfect-merging degree."""
+
+import pytest
+
+from repro.experiments.fig9 import run_fig9
+
+
+@pytest.mark.paper
+def test_fig9_false_positive_curve(benchmark, report_sink):
+    result = benchmark.pedantic(
+        lambda: run_fig9(), rounds=1, iterations=1
+    )
+    report_sink.append(result.format())
+
+    rows = result.rows()
+    degrees = [row["imperfect_degree"] for row in rows]
+    fps = [row["false_positive_pct"] for row in rows]
+    sizes = [row["table_size"] for row in rows]
+    # Paper shape: monotone non-decreasing false positives with D;
+    # D=0 introduces none; larger D merges more (table never grows).
+    assert fps[0] == 0.0
+    assert all(b >= a - 1e-9 for a, b in zip(fps, fps[1:]))
+    assert all(b <= a for a, b in zip(sizes, sizes[1:]))
+    # Small-D budgets stay within the paper's ~2%% tolerance band...
+    assert dict(zip(degrees, fps))[0.1] <= 2.0
+    # ...and a generous budget does merge (table shrinks, FPs appear).
+    assert sizes[-1] < sizes[0]
+    assert fps[-1] > 0.0

@@ -1,0 +1,137 @@
+#!/usr/bin/env python
+"""The paper's motivating scenario (§1): a globally operating insurance
+company whose branch offices are linked by an overlay of content-based
+XML routers.
+
+Claims, bids and requests-for-proposal are submitted anywhere in the
+network and routed — purely by content — to currently-online experts
+whose interest profiles are XPath expressions.  Producers and consumers
+are fully decoupled: nobody holds anybody's address.
+
+Run:  python examples/insurance_claims.py
+"""
+
+from repro.broker import RoutingConfig
+from repro.dtd import parse_dtd
+from repro.network import Overlay, PlanetLabLatency
+from repro.xmldoc import XMLDocument
+
+INSURANCE_DTD = """
+<!ELEMENT claims (claim | bid | rfp)*>
+<!ELEMENT claim (policy, incident, amount, language?)>
+<!ELEMENT policy (holder, region, line)>
+<!ELEMENT holder (#PCDATA)>
+<!ELEMENT region (#PCDATA)>
+<!ELEMENT line (auto | home | health | marine)>
+<!ELEMENT auto EMPTY>
+<!ELEMENT home EMPTY>
+<!ELEMENT health EMPTY>
+<!ELEMENT marine EMPTY>
+<!ELEMENT incident (date, location, severity, description?)>
+<!ELEMENT date (#PCDATA)>
+<!ELEMENT location (#PCDATA)>
+<!ELEMENT severity (#PCDATA)>
+<!ELEMENT description (#PCDATA)>
+<!ELEMENT amount (#PCDATA)>
+<!ELEMENT language (#PCDATA)>
+<!ELEMENT bid (policy, amount)>
+<!ELEMENT rfp (policy, description)>
+"""
+
+MARINE_CLAIM = """
+<claims>
+  <claim>
+    <policy>
+      <holder>Nordsee Shipping GmbH</holder>
+      <region>EMEA</region>
+      <line><marine/></line>
+    </policy>
+    <incident>
+      <date>2026-07-01</date>
+      <location>Rotterdam</location>
+      <severity>major</severity>
+    </incident>
+    <amount>2400000</amount>
+    <language>de</language>
+  </claim>
+</claims>
+"""
+
+AUTO_BID = """
+<claims>
+  <bid>
+    <policy>
+      <holder>J. Smith</holder>
+      <region>NA</region>
+      <line><auto/></line>
+    </policy>
+    <amount>1200</amount>
+  </bid>
+</claims>
+"""
+
+
+def main():
+    dtd = parse_dtd(INSURANCE_DTD)
+
+    # Offices on three continents; wide-area latencies between them.
+    overlay = Overlay(
+        config=RoutingConfig.full(),
+        latency_model=PlanetLabLatency(seed=42),
+    )
+    for office in ("frankfurt", "toronto", "singapore", "rotterdam", "chicago"):
+        overlay.add_broker(office)
+    overlay.connect("frankfurt", "toronto")
+    overlay.connect("frankfurt", "rotterdam")
+    overlay.connect("toronto", "chicago")
+    overlay.connect("frankfurt", "singapore")
+
+    # A broker submits claims at the Rotterdam office.
+    broker_client = overlay.attach_publisher("third-party-broker", "rotterdam")
+    broker_client.advertise_dtd(dtd)
+    overlay.run()
+
+    # Experts subscribe with XPE interest profiles.
+    marine_expert = overlay.attach_subscriber("marine-expert", "frankfurt")
+    marine_expert.subscribe("/claims/claim/policy/line/marine")
+    german_speaker = overlay.attach_subscriber("german-desk", "frankfurt")
+    german_speaker.subscribe("/claims/claim/language")
+    auto_desk = overlay.attach_subscriber("auto-desk", "chicago")
+    auto_desk.subscribe("//bid/policy/line/auto")
+    audit = overlay.attach_subscriber("audit", "singapore")
+    audit.subscribe("/claims")  # everything — covers all of the above
+    overlay.run()
+
+    for doc_id, text in (("claim-7731", MARINE_CLAIM), ("bid-0042", AUTO_BID)):
+        broker_client.publish_document(XMLDocument.parse(text, doc_id=doc_id))
+    overlay.run()
+
+    print("Routing of two documents through the insurance overlay:\n")
+    for client in (marine_expert, german_speaker, auto_desk, audit):
+        print(
+            "  %-13s @ %-9s -> %s"
+            % (
+                client.client_id,
+                client.broker_id,
+                sorted(client.delivered_documents()) or "nothing",
+            )
+        )
+
+    print("\nbroker messages: %d" % overlay.stats.network_traffic)
+    for record in sorted(
+        overlay.stats.delivered_documents().values(),
+        key=lambda r: (r.subscriber_id, r.doc_id),
+    ):
+        print(
+            "  %-13s got %-10s after %5.1f ms over %d hops"
+            % (record.subscriber_id, record.doc_id, record.delay * 1e3, record.hops)
+        )
+
+    assert marine_expert.delivered_documents() == {"claim-7731"}
+    assert german_speaker.delivered_documents() == {"claim-7731"}
+    assert auto_desk.delivered_documents() == {"bid-0042"}
+    assert audit.delivered_documents() == {"claim-7731", "bid-0042"}
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Scalability on wide-area links, in the style of the paper's
+PlanetLab experiment (§5, Figures 10–11).
+
+Builds a chain of brokers with PlanetLab-like link latencies, loads
+each hop with subscriptions, and measures how the notification delay
+grows with the number of broker hops — once with covering and once
+without.  Covering compacts the routing table at every hop, so the
+per-hop matching cost (charged to the virtual clock from the real
+matching wall time) shrinks and the delay slope flattens.
+
+Run:  python examples/planetlab_scalability.py
+"""
+
+from repro.broker import RoutingConfig
+from repro.dtd import psd_dtd
+from repro.network import Overlay, PlanetLabLatency
+from repro.workloads import XPathWorkloadParams, generate_documents, generate_queries
+
+
+def measure(covering, hops=6, xpes_per_hop=150, seed=21):
+    dtd = psd_dtd()
+    config = (
+        RoutingConfig.with_adv_with_cov()
+        if covering
+        else RoutingConfig.with_adv_no_cov()
+    )
+    overlay = Overlay(
+        config=config,
+        latency_model=PlanetLabLatency(seed=seed),
+        processing_scale=1.0,
+    )
+    names = ["hop%d" % i for i in range(hops + 1)]
+    for name in names:
+        overlay.add_broker(name)
+    for left, right in zip(names, names[1:]):
+        overlay.connect(left, right)
+
+    publisher = overlay.attach_publisher("source", names[0])
+    publisher.advertise_dtd(dtd)
+    overlay.run()
+
+    params = XPathWorkloadParams(
+        wildcard_prob=0.2, descendant_prob=0.15, relative_prob=0.2, min_length=2
+    )
+    queries = generate_queries(
+        dtd, xpes_per_hop * hops, params=params, seed=seed
+    )
+    subscribers = []
+    for index, name in enumerate(names[1:], start=1):
+        subscriber = overlay.attach_subscriber("sink%d" % index, name)
+        for expr in queries[(index - 1) * xpes_per_hop: index * xpes_per_hop]:
+            subscriber.subscribe(expr)
+        subscribers.append(subscriber)
+    overlay.run()
+
+    for document in generate_documents(dtd, 4, seed=seed, target_bytes=10240):
+        publisher.publish_document(document)
+    overlay.run()
+
+    return {
+        hop_count: 1e3 * sum(delays) / len(delays)
+        for hop_count, delays in overlay.stats.delays_by_hops().items()
+    }
+
+
+def main():
+    with_cov = measure(covering=True)
+    without_cov = measure(covering=False)
+    print("notification delay vs. broker hops (10K PSD documents)\n")
+    print("hops   with covering   without covering")
+    for hop_count in sorted(set(with_cov) | set(without_cov)):
+        print(
+            "%4d   %10.1f ms   %13.1f ms"
+            % (
+                hop_count,
+                with_cov.get(hop_count, float("nan")),
+                without_cov.get(hop_count, float("nan")),
+            )
+        )
+    print(
+        "\nDelay grows ~linearly with hops; covering keeps routing "
+        "tables small\nalong the path, so each hop matches faster "
+        "(paper Figures 10-11)."
+    )
+
+
+if __name__ == "__main__":
+    main()

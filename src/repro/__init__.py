@@ -1,0 +1,43 @@
+"""Reproduction of *Routing of XML and XPath Queries in Data Dissemination
+Networks* (Li, Hou, Jacobsen — ICDCS 2008).
+
+The package implements the complete system described in the paper:
+
+* :mod:`repro.xpath` — the XPath-expression (XPE) subscription language.
+* :mod:`repro.dtd` — DTD parsing and path analysis for publishers.
+* :mod:`repro.adverts` — advertisement generation from DTDs and the six
+  subscription/advertisement intersection algorithms.
+* :mod:`repro.covering` — covering detection and the subscription tree.
+* :mod:`repro.merging` — XPE merging rules and the imperfect-merge degree.
+* :mod:`repro.xmldoc` — XML documents and their root-to-leaf path model.
+* :mod:`repro.matching` — publication-vs-XPE matching engines.
+* :mod:`repro.broker` — the content-based XML router.
+* :mod:`repro.network` — the discrete-event overlay network simulator.
+* :mod:`repro.workloads` — XPE / XML document workload generators.
+* :mod:`repro.experiments` — runners for every table and figure in the
+  paper's evaluation.
+"""
+
+from repro.errors import (
+    ReproError,
+    XPathSyntaxError,
+    DTDSyntaxError,
+    RoutingError,
+)
+from repro.xpath import XPathExpr, Step, Axis, parse_xpath
+from repro.broker import Broker, RoutingConfig
+
+__all__ = [
+    "ReproError",
+    "XPathSyntaxError",
+    "DTDSyntaxError",
+    "RoutingError",
+    "XPathExpr",
+    "Step",
+    "Axis",
+    "parse_xpath",
+    "Broker",
+    "RoutingConfig",
+]
+
+__version__ = "1.0.0"

@@ -1,0 +1,163 @@
+"""Covering between advertisements (paper §2.2).
+
+"Since advertisements have the same format as subscriptions, the
+covering relations among advertisements can be defined in the same
+manner": ``a1`` covers ``a2`` iff ``P(a1) ⊇ P(a2)``.  A broker that has
+already flooded a covering advertisement may suppress flooding of the
+covered one without changing where subscriptions can travel — the SRT
+entries of the coverer attract every subscription the covered one
+would.
+
+* Non-recursive advertisements behave exactly like absolute simple
+  subscriptions (the paper's observation): positional test covering
+  with equal lengths — **equal** lengths, not ≤, because ``P(a)`` holds
+  paths of exactly the advertisement's length, so a shorter
+  advertisement never covers a longer one (unlike subscriptions, where
+  a prefix matches deeper paths).
+* For recursive advertisements the language-containment question is
+  decided with a product construction over the two NFAs: ``a1`` covers
+  ``a2`` iff no word of ``a2`` escapes ``a1``.  Because advertisement
+  alphabets are finite (DTD element names plus ``*``), the simulation
+  subset-construction on ``a1``'s side stays small in practice.
+
+Wildcard caveat: a wildcard in the *covered* advertisement stands for
+"any element", so a concrete test in the coverer cannot cover it; a
+wildcard in the coverer covers everything.  This matches the
+subscription covering rules.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.adverts.model import Advertisement
+from repro.adverts.nfa import AdvertNFA
+from repro.covering.rules import covers_test
+from repro.xpath.ast import WILDCARD
+
+
+def advert_covers(a1: Advertisement, a2: Advertisement) -> bool:
+    """True when ``P(a1) ⊇ P(a2)``."""
+    if a1 == a2:
+        return True
+    if not a1.is_recursive and not a2.is_recursive:
+        t1, t2 = a1.tests, a2.tests
+        if len(t1) != len(t2):
+            return False
+        return all(covers_test(x, y) for x, y in zip(t1, t2))
+    return _language_contains(a1, a2)
+
+
+def _language_contains(a1: Advertisement, a2: Advertisement) -> bool:
+    """``L(a2) ⊆ L(a1)`` by simultaneous simulation.
+
+    Walk ``a2``'s NFA nondeterministically (state by state); alongside
+    each ``a2`` state set, track the set of ``a1`` states reachable on
+    *some* covering of the symbols consumed so far.  If an accepting
+    ``a2`` configuration is reached while no ``a1`` configuration
+    accepts, a counterexample word exists.
+
+    Symbol semantics during simulation: a concrete ``a2`` symbol is
+    covered by an equal ``a1`` symbol or an ``a1`` wildcard; an ``a2``
+    wildcard (standing for *any* element) is only covered by an ``a1``
+    wildcard — a fresh element name witnesses the difference otherwise.
+    """
+    nfa1 = AdvertNFA.compile(a1)
+    nfa2 = AdvertNFA.compile(a2)
+
+    start = (nfa2.start, frozenset({nfa1.start}))
+    seen: Set[Tuple[int, FrozenSet[int]]] = {start}
+    frontier: List[Tuple[int, FrozenSet[int]]] = [start]
+    while frontier:
+        state2, states1 = frontier.pop()
+        if state2 in nfa2.accepting and not (states1 & nfa1.accepting):
+            return False
+        for symbol, target2 in nfa2.transitions.get(state2, ()):
+            targets1 = frozenset(
+                target1
+                for s1 in states1
+                for sym1, target1 in nfa1.transitions.get(s1, ())
+                if _covers_symbol(sym1, symbol)
+            )
+            configuration = (target2, targets1)
+            if configuration not in seen:
+                seen.add(configuration)
+                frontier.append(configuration)
+    return True
+
+
+def _covers_symbol(sym1: str, sym2: str) -> bool:
+    if sym1 == WILDCARD:
+        return True
+    if sym2 == WILDCARD:
+        return False  # some element always escapes a concrete test
+    return sym1 == sym2
+
+
+class AdvertCoverSet:
+    """Maintains advertisements with *per-direction* covering
+    suppression.
+
+    A broker may skip flooding an advertisement only when a covering
+    advertisement **with the same last hop** was already flooded:
+    subscriptions then still travel down the shared link and meet this
+    broker's SRT, which knows the covered advertisement's true origin.
+    Suppressing across different last hops would steer subscriptions
+    toward the coverer's publisher only, starving the covered one.
+
+    ``add`` reports whether the advertisement is maximal within its
+    direction — a broker floods only those.  Covered ones are retained
+    for SRT bookkeeping.
+    """
+
+    def __init__(self):
+        self._adverts: Dict[str, Tuple[Advertisement, object]] = {}
+        self._covered_by: Dict[str, str] = {}
+
+    def add(self, adv_id: str, advert: Advertisement, last_hop: object) -> bool:
+        """Store; returns False when an existing same-direction
+        advertisement covers this one (flooding may be suppressed)."""
+        for other_id, (other, other_hop) in self._adverts.items():
+            if other_hop == last_hop and advert_covers(other, advert):
+                self._adverts[adv_id] = (advert, last_hop)
+                self._covered_by[adv_id] = other_id
+                return False
+        self._adverts[adv_id] = (advert, last_hop)
+        return True
+
+    def remove(self, adv_id: str) -> List[str]:
+        """Remove; returns the ids of advertisements that were covered
+        by it and are now maximal (must be re-flooded)."""
+        entry = self._adverts.pop(adv_id, None)
+        if entry is None:
+            return []
+        self._covered_by.pop(adv_id, None)
+        promoted = []
+        for covered_id, coverer_id in list(self._covered_by.items()):
+            if coverer_id != adv_id:
+                continue
+            del self._covered_by[covered_id]
+            candidate, candidate_hop = self._adverts[covered_id]
+            for other_id, (other, other_hop) in self._adverts.items():
+                if (
+                    other_id != covered_id
+                    and other_hop == candidate_hop
+                    and advert_covers(other, candidate)
+                ):
+                    self._covered_by[covered_id] = other_id
+                    break
+            else:
+                promoted.append(covered_id)
+        return promoted
+
+    def is_covered(self, adv_id: str) -> bool:
+        return adv_id in self._covered_by
+
+    def maximal_count(self) -> int:
+        return len(self._adverts) - len(self._covered_by)
+
+    def __len__(self):
+        return len(self._adverts)
+
+    def __contains__(self, adv_id):
+        return adv_id in self._adverts

@@ -1,0 +1,181 @@
+"""Advertisement generation from DTDs (paper §3.1).
+
+For a non-recursive DTD, the generator emits one non-recursive
+advertisement per root-to-leaf element path — the DTD "allows deriving
+all possible paths from the root to the leaves".
+
+For a recursive DTD, a depth-first walk detects back-edges: when the
+walk is about to revisit an element already on the current path, the
+span between the two occurrences is a repetition unit and is recorded as
+a ``(...)+`` region.  Each element is expanded at most twice along one
+path (the second visit closes the cycle; a third is pruned), which
+yields exactly the paper's three recursive shapes — a single region
+(*simple-recursive*), several disjoint regions (*series-recursive*) and
+nested regions (*embedded-recursive*).  Partially overlapping regions
+are merged into one; the merge widens ``P(a)``, which is safe for
+advertisements (over-advertising can only cause extra forwarding, never
+message loss).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.adverts.model import Advertisement, AdvNode, Lit, Rep
+from repro.dtd.model import DTD
+
+
+def generate_advertisements(
+    dtd: DTD, max_path_length: int = 16
+) -> List[Advertisement]:
+    """All advertisements for a publisher described by *dtd*.
+
+    Args:
+        dtd: the publisher's DTD.
+        max_path_length: safety bound on the walk depth (the number of
+            distinct positions on one path, counting the single cycle
+            unrollings).  The paper likewise bounds nesting depth "from
+            a practical point of view" (§3.3).
+
+    Returns:
+        Deterministically ordered, duplicate-free advertisements.
+    """
+    graph = dtd.child_map()
+    seen: Set[str] = set()
+    results: List[Advertisement] = []
+
+    def emit(path: Sequence[str], regions: Sequence[Tuple[int, int]]):
+        advert = _build_advertisement(path, regions)
+        key = str(advert)
+        if key not in seen:
+            seen.add(key)
+            results.append(advert)
+
+    def visit(
+        name: str,
+        path: List[str],
+        counts: Dict[str, int],
+        regions: List[Tuple[int, int]],
+    ):
+        previous_index = None
+        if counts.get(name, 0) == 1:
+            # Back-edge: the span since the previous occurrence of this
+            # element is a repetition unit.
+            previous_index = _last_index(path, name)
+            regions = regions + [(previous_index, len(path))]
+        path.append(name)
+        counts[name] = counts.get(name, 0) + 1
+
+        decl = dtd.elements[name]
+        children = graph.get(name, ())
+        if decl.can_be_leaf() or not children:
+            emit(path, regions)
+        if len(path) < max_path_length:
+            for child in children:
+                if counts.get(child, 0) >= 2:
+                    continue
+                visit(child, path, counts, regions)
+
+        path.pop()
+        counts[name] -= 1
+
+    visit(dtd.root, [], {}, [])
+    return results
+
+
+def _last_index(path: Sequence[str], name: str) -> int:
+    for index in range(len(path) - 1, -1, -1):
+        if path[index] == name:
+            return index
+    raise ValueError("%r not on path" % name)
+
+
+def _build_advertisement(
+    path: Sequence[str], regions: Sequence[Tuple[int, int]]
+) -> Advertisement:
+    """Turn a walked path plus its repetition regions into an
+    :class:`Advertisement`.
+
+    Regions are first normalised into a laminar family (partial overlaps
+    merged), then converted recursively: disjoint regions become
+    sibling ``Rep`` groups, nested regions become embedded groups.
+    """
+    laminar = _merge_overlaps(regions)
+    nodes = _build_nodes(path, 0, len(path), laminar)
+    return Advertisement(tuple(nodes))
+
+
+def _merge_overlaps(
+    regions: Sequence[Tuple[int, int]]
+) -> List[Tuple[int, int]]:
+    """Merge partially overlapping intervals until the family is laminar
+    (any two intervals are nested or disjoint)."""
+    merged = [tuple(region) for region in regions]
+    changed = True
+    while changed:
+        changed = False
+        for i in range(len(merged)):
+            for j in range(i + 1, len(merged)):
+                a, b = merged[i], merged[j]
+                if _partially_overlap(a, b):
+                    union = (min(a[0], b[0]), max(a[1], b[1]))
+                    merged = [
+                        r for k, r in enumerate(merged) if k not in (i, j)
+                    ]
+                    merged.append(union)
+                    changed = True
+                    break
+            if changed:
+                break
+    # Drop exact duplicates.
+    return sorted(set(merged))
+
+
+def _partially_overlap(a: Tuple[int, int], b: Tuple[int, int]) -> bool:
+    """True when the intervals overlap but neither contains the other."""
+    lo, hi = (a, b) if a <= b else (b, a)
+    if lo[1] <= hi[0]:
+        return False  # disjoint
+    nested = (lo[0] <= hi[0] and hi[1] <= lo[1]) or (
+        hi[0] <= lo[0] and lo[1] <= hi[1]
+    )
+    return not nested
+
+
+def _build_nodes(
+    path: Sequence[str],
+    lo: int,
+    hi: int,
+    regions: Sequence[Tuple[int, int]],
+) -> List[AdvNode]:
+    """Recursive laminar-interval-to-node conversion over path[lo:hi)."""
+    maximal = [
+        region
+        for region in regions
+        if lo <= region[0] and region[1] <= hi
+        and not any(
+            other != region
+            and other[0] <= region[0]
+            and region[1] <= other[1]
+            and lo <= other[0]
+            and other[1] <= hi
+            for other in regions
+        )
+    ]
+    maximal.sort()
+    nodes: List[AdvNode] = []
+    position = lo
+    for start, end in maximal:
+        if start > position:
+            nodes.append(Lit(tuple(path[position:start])))
+        inner = [
+            region
+            for region in regions
+            if start <= region[0] and region[1] <= end
+            and region != (start, end)
+        ]
+        nodes.append(Rep(tuple(_build_nodes(path, start, end, inner))))
+        position = end
+    if position < hi:
+        nodes.append(Lit(tuple(path[position:hi])))
+    return nodes

@@ -1,0 +1,171 @@
+"""NFA-based matching of XPEs against recursive advertisements.
+
+A recursive advertisement denotes a regular language of publication
+paths, so intersection with an XPE is decidable by a product
+construction instead of enumerating expansions:
+
+* the advertisement compiles to a small NFA (one state per node test,
+  back edges realising the one-or-more groups),
+* the XPE compiles to a "consumed tests" counter with skip positions —
+  an absolute XPE must start consuming at the word start, a relative
+  one may skip a prefix, and every ``//`` boundary may skip arbitrarily
+  many symbols,
+* a BFS over (NFA state, consumed count) pairs decides whether *some*
+  word of the advertisement language carries a match.
+
+An XPE accepts as soon as all its tests are consumed: any reachable NFA
+state can reach acceptance (the construction introduces no dead
+states), so the partial word always completes to a full publication
+path.  The result is exact for the *unbounded* language — unlike the
+bounded-expansion reference matcher it replaces on the hot path, which
+the property-based test suite keeps around as an oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.adverts.matching import node_tests_overlap
+from repro.adverts.model import Advertisement, Lit, Rep
+from repro.xpath.ast import XPathExpr
+
+
+class AdvertNFA:
+    """The compiled automaton of one advertisement.
+
+    ``transitions[state]`` is a list of ``(symbol, next_state)`` edges;
+    ``start`` is the single initial state; ``accepting`` are the states
+    reached after a complete word.
+    """
+
+    __slots__ = ("transitions", "start", "accepting")
+
+    def __init__(self, transitions, start, accepting):
+        self.transitions = transitions
+        self.start = start
+        self.accepting = accepting
+
+    @classmethod
+    def compile(cls, advert: Advertisement) -> "AdvertNFA":
+        """Compile (memoised on the advertisement instance)."""
+        cached = getattr(advert, "_nfa_cache", None)
+        if cached is not None:
+            return cached
+        builder = _Builder()
+        exits = builder.compile_sequence(advert.nodes, {builder.start})
+        nfa = cls(
+            transitions=dict(builder.transitions),
+            start=builder.start,
+            accepting=frozenset(exits),
+        )
+        object.__setattr__(advert, "_nfa_cache", nfa)
+        return nfa
+
+    def state_count(self) -> int:
+        states = {self.start} | set(self.accepting)
+        for source, edges in self.transitions.items():
+            states.add(source)
+            states.update(target for _sym, target in edges)
+        return len(states)
+
+
+class _Builder:
+    """Glushkov-style construction: one state per node test, group
+    repetition as back edges from group exits to the group's first
+    symbols."""
+
+    def __init__(self):
+        self._next_state = 1
+        self.start = 0
+        self.transitions: Dict[int, List[Tuple[str, int]]] = {}
+
+    def _new_state(self) -> int:
+        state = self._next_state
+        self._next_state += 1
+        return state
+
+    def _edge(self, source: int, symbol: str, target: int):
+        self.transitions.setdefault(source, []).append((symbol, target))
+
+    def compile_sequence(self, nodes, entries: Set[int]) -> Set[int]:
+        """Wire *nodes* one after another, starting from every state in
+        *entries*; returns the exit state set."""
+        current = set(entries)
+        for node in nodes:
+            current = self._compile_node(node, current)
+        return current
+
+    def _compile_node(self, node, entries: Set[int]) -> Set[int]:
+        if isinstance(node, Lit):
+            current = set(entries)
+            for test in node.tests:
+                state = self._new_state()
+                for source in current:
+                    self._edge(source, test, state)
+                current = {state}
+            return current
+        if isinstance(node, Rep):
+            # First pass through the body...
+            first_edges_mark = {
+                source: len(self.transitions.get(source, ()))
+                for source in entries
+            }
+            exits = self.compile_sequence(node.body, entries)
+            # ...then copy the body's first-symbol edges onto every exit
+            # so the group can repeat.
+            for source, mark in first_edges_mark.items():
+                for symbol, target in self.transitions.get(source, [])[mark:]:
+                    for exit_state in exits:
+                        if (symbol, target) not in self.transitions.get(
+                            exit_state, ()
+                        ):
+                            self._edge(exit_state, symbol, target)
+            return exits
+        raise TypeError("unknown advertisement node %r" % (node,))
+
+
+def _flatten(sub: XPathExpr):
+    """Flatten the XPE into (tests, skip_positions, anchored).
+
+    ``skip_positions`` are consumed-counts at which arbitrarily many
+    word symbols may be skipped: position 0 for relative XPEs and every
+    ``//`` segment boundary.
+    """
+    segments = sub.segments
+    tests: List[str] = []
+    skips: Set[int] = set()
+    if not sub.anchored:
+        skips.add(0)
+    for index, segment in enumerate(segments):
+        if index > 0:
+            skips.add(len(tests))
+        tests.extend(segment)
+    return tuple(tests), frozenset(skips)
+
+
+def expr_and_advert_nfa(advert: Advertisement, sub: XPathExpr) -> bool:
+    """Exact ``P(a) ∩ P(s) ≠ ∅`` via the product BFS."""
+    nfa = AdvertNFA.compile(advert)
+    tests, skips = _flatten(sub)
+    total = len(tests)
+
+    start = (nfa.start, 0)
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        state, consumed = frontier.pop()
+        if consumed == total:
+            return True
+        may_skip = consumed in skips
+        for symbol, target in nfa.transitions.get(state, ()):
+            if node_tests_overlap(symbol, tests[consumed]):
+                advanced = (target, consumed + 1)
+                if advanced not in seen:
+                    seen.add(advanced)
+                    frontier.append(advanced)
+            if may_skip:
+                skipped = (target, consumed)
+                if skipped not in seen:
+                    seen.add(skipped)
+                    frontier.append(skipped)
+    return False

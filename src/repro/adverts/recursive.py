@@ -1,0 +1,266 @@
+"""Matching against recursive advertisements (paper §3.3).
+
+Two implementations are provided and cross-checked by the test suite:
+
+* :func:`abs_expr_and_sim_rec_adv` — the paper's Figure 3 algorithm for
+  an absolute simple XPE against ``a = a1(a2)+a3``, with two errata
+  fixed (documented on the function).
+* :func:`expr_and_rec_adv` — a general matcher for *any* supported XPE
+  shape against *any* recursive advertisement (simple, series or
+  embedded).  It enumerates bounded fragments of the advertisement's
+  path language: length-``|s|`` prefixes for absolute simple XPEs, and
+  complete words up to a pumping bound for relative XPEs and XPEs with
+  descendant operators.  The bounds are exact for the decision problem
+  (see :meth:`Advertisement.expansion_bound`).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.adverts.matching import (
+    abs_expr_and_adv,
+    des_expr_and_adv,
+    rel_expr_and_adv,
+    node_tests_overlap,
+)
+from repro.adverts.model import Advertisement
+from repro.xpath.ast import XPathExpr
+
+
+def _block_overlaps(block: Sequence[str], sub_tests: Sequence[str]) -> bool:
+    """Pairwise overlap of a test block against a same-or-shorter slice."""
+    if len(sub_tests) > len(block):
+        return False
+    return all(
+        node_tests_overlap(block[i], sub_tests[i]) for i in range(len(sub_tests))
+    )
+
+
+def abs_expr_and_sim_rec_adv(a1, a2, a3, sub: XPathExpr) -> bool:
+    """``AbsExprAndSimRecAdv`` (paper Figure 3): absolute simple XPE vs.
+    ``a = a1(a2)+a3``.
+
+    ``a1``/``a2``/``a3`` are test sequences; ``a1`` and ``a3`` may be
+    empty, ``a2`` must not be.
+
+    Two errata relative to the printed pseudo-code are fixed (the test
+    suite cross-checks against the expansion-based reference matcher):
+
+    * Line 5's ``q = Int((|s|-|a1a2a3|)/|a2|) + 1`` overshoots by one
+      when the difference divides evenly (the intended value is a
+      ceiling), and the loop starting at ``c = q`` leaves the repetition
+      blocks before ``q`` unverified.  Here every block is verified,
+      and the ``a3``-fit test simply skips counts where the remainder
+      of ``s`` is still longer than ``a3``.
+    * When all trailing blocks of ``s`` overlap repetitions of ``a2``
+      (including a final partial block), a sufficiently deep expansion
+      matches ``s`` as a path prefix regardless of ``a3``, so the
+      algorithm must answer 1 — including when ``a3`` is empty, a case
+      the printed loop can skip entirely.
+    """
+    if not a2:
+        raise ValueError("the recursive pattern a2 cannot be empty")
+    s = sub.tests
+    a2 = tuple(a2)
+    a3 = tuple(a3)
+    head = tuple(a1) + a2
+    if len(s) <= len(head):
+        return _block_overlaps(head, s)
+    if not _block_overlaps(head, s[: len(head)]):
+        return False
+
+    tail_len = len(s) - len(head)  # steps of s beyond a1 a2
+    # p: the number of complete extra a2-repetitions that fit in the tail.
+    p = tail_len // len(a2)
+    for c in range(p + 1):
+        rest = s[len(head) + c * len(a2):]
+        # Try to finish the match in a3 after c extra repetitions; the
+        # length check inside _block_overlaps subsumes the paper's q.
+        if len(rest) <= len(a3) and _block_overlaps(a3, rest):
+            return True
+        if c == p:
+            # The final (possibly partial, possibly empty) block: if it
+            # overlaps a prefix of a2, a deeper expansion matches s.
+            return _block_overlaps(a2, rest)
+        block = s[len(head) + c * len(a2): len(head) + (c + 1) * len(a2)]
+        if not _block_overlaps(a2, block):
+            return False
+    raise AssertionError("unreachable: the c == p branch always returns")
+
+
+def expr_and_rec_adv(advert: Advertisement, sub: XPathExpr) -> bool:
+    """General XPE vs. recursive-advertisement intersection.
+
+    Delegates to the exact NFA product construction
+    (:mod:`repro.adverts.nfa`) — the advertisement language is regular,
+    so no expansion bound is needed.
+    """
+    from repro.adverts.nfa import expr_and_advert_nfa
+
+    return expr_and_advert_nfa(advert, sub)
+
+
+def expr_and_rec_adv_expansion(advert: Advertisement, sub: XPathExpr) -> bool:
+    """Bounded-expansion reference matcher (test oracle).
+
+    Enumerates the finitely many relevant expansions of the
+    advertisement:
+
+    * absolute simple XPE — the advertisement's length-``|s|`` word
+      prefixes (a shorter word cannot match an absolute XPE; a longer
+      word matches iff its prefix overlaps the XPE),
+    * relative / descendant XPE — every complete word up to the pumping
+      bound of :meth:`Advertisement.expansion_bound`.
+
+    Exponential in the worst case; kept as the independent oracle the
+    property-based tests compare the NFA matcher against.
+    """
+    if sub.is_simple and sub.is_absolute:
+        candidates = advert.prefixes(len(sub))
+        return any(
+            _block_overlaps(prefix, sub.tests) for prefix in candidates
+        )
+
+    bound = advert.expansion_bound(len(sub))
+    words = advert.words_up_to(bound)
+    if sub.is_simple:
+        return any(rel_expr_and_adv(word, sub) for word in words)
+    return any(des_expr_and_adv(word, sub) for word in words)
+
+
+def expr_and_advertisement(advert: Advertisement, sub: XPathExpr) -> bool:
+    """Top-level intersection test used by brokers: any supported XPE
+    shape against any advertisement (recursive or not).
+
+    A symbol-set prescreen rejects most non-matches cheaply: with no
+    wildcards on the advertisement side, every concrete subscription
+    test must pair with an equal advertisement symbol, so a
+    subscription naming a foreign element can never overlap.
+    """
+    if not advert.has_wildcard:
+        symbols = advert.symbols()
+        for test in sub.tests:
+            if test != "*" and test not in symbols:
+                return False
+    if not advert.is_recursive:
+        tests = advert.tests
+        if sub.is_simple and sub.is_absolute:
+            return abs_expr_and_adv(tests, sub)
+        if sub.is_simple:
+            return rel_expr_and_adv(tests, sub)
+        return des_expr_and_adv(tests, sub)
+    if (
+        advert.kind == "simple-recursive"
+        and sub.is_simple
+        and sub.is_absolute
+    ):
+        a1, a2, a3 = _decompose_simple(advert)
+        return abs_expr_and_sim_rec_adv(a1, a2, a3, sub)
+    return expr_and_rec_adv(advert, sub)
+
+
+def _decompose_simple(advert: Advertisement):
+    """Split a simple-recursive advertisement into ``(a1, a2, a3)``."""
+    from repro.adverts.model import Lit, Rep
+
+    a1, a2, a3 = (), (), ()
+    seen_rep = False
+    for node in advert.nodes:
+        if isinstance(node, Rep):
+            if seen_rep or not all(
+                isinstance(inner, Lit) for inner in node.body
+            ):
+                raise ValueError("not a simple-recursive advertisement")
+            for inner in node.body:
+                a2 = a2 + inner.tests
+            seen_rep = True
+        elif not seen_rep:
+            a1 = a1 + node.tests
+        else:
+            a3 = a3 + node.tests
+    return a1, a2, a3
+
+
+def _flatten_literals(nodes) -> tuple:
+    """Concatenate the tests of an all-:class:`Lit` node sequence."""
+    from repro.adverts.model import Lit
+
+    tests = ()
+    for node in nodes:
+        if not isinstance(node, Lit):
+            raise ValueError("sequence still contains recursion groups")
+        tests = tests + node.tests
+    return tests
+
+
+def _min_nodes_length(nodes) -> int:
+    from repro.adverts.model import _min_length
+
+    return _min_length(tuple(nodes))
+
+
+def _unroll_match(nodes, sub: XPathExpr) -> bool:
+    """Paper §3.3 strategy: repeatedly expand the first recursion group
+    ("try all possible advertisement formats") until the structure is
+    simple enough for the earlier algorithms.
+
+    * no groups left — ``AbsExprAndAdv``;
+    * exactly one trailing group with a literal body — Figure 3;
+    * otherwise unroll the first group ``1..c_max`` times and recurse,
+      where ``c_max`` stops once the repeated region has pushed every
+      later symbol beyond the subscription's length (an absolute XPE
+      constrains only its first ``|s|`` positions).
+    """
+    from repro.adverts.model import Advertisement, Lit, Rep
+
+    rep_positions = [
+        index for index, node in enumerate(nodes) if isinstance(node, Rep)
+    ]
+    if not rep_positions:
+        return abs_expr_and_adv(_flatten_literals(nodes), sub)
+    if len(rep_positions) == 1:
+        node = nodes[rep_positions[0]]
+        if all(isinstance(inner, Lit) for inner in node.body):
+            advert = Advertisement(tuple(nodes))
+            a1, a2, a3 = _decompose_simple(advert)
+            return abs_expr_and_sim_rec_adv(a1, a2, a3, sub)
+
+    first = rep_positions[0]
+    prefix_tests = _flatten_literals(nodes[:first])
+    if len(prefix_tests) >= len(sub):
+        # The literal prefix alone already constrains every position of
+        # the (absolute) XPE; deeper structure cannot change the first
+        # |s| symbols.
+        return abs_expr_and_adv(prefix_tests, sub)
+    body = nodes[first].body
+    unit_min = _min_nodes_length(body)
+    count = 1
+    while len(prefix_tests) + (count - 1) * unit_min <= len(sub):
+        candidate = (
+            tuple(nodes[:first]) + body * count + tuple(nodes[first + 1:])
+        )
+        if _unroll_match(candidate, sub):
+            return True
+        count += 1
+    return False
+
+
+def abs_expr_and_ser_rec_adv(advert: Advertisement, sub: XPathExpr) -> bool:
+    """``AbsExprAndSerRecAdv`` (paper §3.3): absolute simple XPE vs. a
+    series-recursive advertisement ``a = a1(a2)+a3(a4)+a5``, by
+    repeatedly unrolling the first group and calling Figure 3 on the
+    remainder — the strategy the paper describes in prose."""
+    if not (sub.is_simple and sub.is_absolute):
+        raise ValueError("the paper's algorithm expects an absolute simple XPE")
+    return _unroll_match(tuple(advert.nodes), sub)
+
+
+def abs_expr_and_emb_rec_adv(advert: Advertisement, sub: XPathExpr) -> bool:
+    """``AbsExprAndEmbRecAdv`` (paper §3.3): absolute simple XPE vs. an
+    embedded-recursive advertisement — determine how many times the
+    outer group repeats and recurse into the (then series-shaped)
+    unrollings."""
+    if not (sub.is_simple and sub.is_absolute):
+        raise ValueError("the paper's algorithm expects an absolute simple XPE")
+    return _unroll_match(tuple(advert.nodes), sub)

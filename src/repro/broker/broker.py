@@ -1,0 +1,449 @@
+"""The content-based XML router (paper §2–4).
+
+A broker knows only its neighbours.  It processes four message kinds and
+returns, for each, the list of ``(destination, message)`` pairs to emit;
+the overlay (or a test) performs the actual delivery.  Destinations are
+neighbour broker ids or locally attached client ids.
+
+Correctness note on covering suppression: "do not forward a covered
+subscription" must be applied *per neighbour*.  Suppose ``s1`` arrives
+from neighbour X and is forwarded everywhere except X, then ``s2 ⊑ s1``
+arrives from neighbour Y.  Hop-agnostic suppression would drop ``s2``
+entirely — but X never received ``s1`` (it came from there), so
+publishers behind X would never learn to route toward Y.  The rule
+implemented here: forward ``s2`` to neighbour ``n`` unless some stored
+subscription covering ``s2`` was already forwarded to ``n``.  The
+delivery-equivalence test suite (tests/test_network_invariants.py)
+checks every strategy delivers exactly the flooding baseline's
+documents.
+
+False positives: imperfect merging may route extra publications through
+the network, but an edge broker delivers to a client only after
+re-checking the client's *exact* subscriptions — clients are never
+exposed to false positives (paper §4.3/§5).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.broker.messages import (
+    AdvertiseMsg,
+    Message,
+    PublishMsg,
+    SubscribeMsg,
+    UnadvertiseMsg,
+    UnsubscribeMsg,
+)
+from repro.broker.strategies import MergingMode, RoutingConfig
+from repro.broker.tables import ForwardedState, SubscriptionRoutingTable
+from repro.covering.pathmatch import matches_path
+from repro.covering.subscription_tree import SubscriptionTree
+from repro.errors import RoutingError
+from repro.matching.engine import LinearMatcher
+from repro.merging.engine import MergingEngine, PathUniverse
+from repro.xpath.ast import XPathExpr
+
+Outbound = List[Tuple[object, Message]]
+
+
+class Broker:
+    """One content-based router.
+
+    Args:
+        broker_id: unique overlay identifier.
+        config: the routing strategy (see :class:`RoutingConfig`).
+        universe: publication universe for merging-degree computation;
+            required for PERFECT/IMPERFECT merging to be effective.
+    """
+
+    def __init__(
+        self,
+        broker_id: str,
+        config: Optional[RoutingConfig] = None,
+        universe: Optional[PathUniverse] = None,
+    ):
+        self.broker_id = broker_id
+        self.config = config if config is not None else RoutingConfig.full()
+        self.neighbors: Set[object] = set()
+        self.local_clients: Set[object] = set()
+
+        self.srt = SubscriptionRoutingTable()
+        self.forwarded = ForwardedState()
+        if self.config.advert_covering:
+            from repro.adverts.covering import AdvertCoverSet
+
+            self.advert_covers: Optional[AdvertCoverSet] = AdvertCoverSet()
+        else:
+            self.advert_covers = None
+        if self.config.covering:
+            self.tree: Optional[SubscriptionTree] = SubscriptionTree()
+            self.flat: Optional[LinearMatcher] = None
+        else:
+            self.tree = None
+            self.flat = LinearMatcher()
+
+        self._merger: Optional[MergingEngine] = None
+        if self.config.merging is not MergingMode.OFF:
+            max_degree = (
+                0.0
+                if self.config.merging is MergingMode.PERFECT
+                else self.config.max_imperfect_degree
+            )
+            self._merger = MergingEngine(
+                universe=universe, max_degree=max_degree
+            )
+        self._subs_since_merge = 0
+
+        # Exact client subscriptions: the edge-delivery filter.
+        self.client_subs: Dict[object, Set[XPathExpr]] = defaultdict(set)
+        self.stats: Dict[str, int] = defaultdict(int)
+
+    # -- wiring --------------------------------------------------------------
+
+    def connect(self, neighbor_id: object):
+        """Attach a neighbouring broker."""
+        if neighbor_id == self.broker_id:
+            raise RoutingError("a broker cannot neighbour itself")
+        self.neighbors.add(neighbor_id)
+
+    def attach_client(self, client_id: object):
+        """Attach a local client (publisher or subscriber)."""
+        if client_id in self.neighbors:
+            raise RoutingError("%r is already a neighbour" % (client_id,))
+        self.local_clients.add(client_id)
+
+    # -- dispatch --------------------------------------------------------------
+
+    def handle(self, message: Message, from_hop: object) -> Outbound:
+        """Process one message; returns the messages to emit."""
+        self.stats[message.kind] += 1
+        if isinstance(message, AdvertiseMsg):
+            return self.handle_advertise(message, from_hop)
+        if isinstance(message, UnadvertiseMsg):
+            return self.handle_unadvertise(message, from_hop)
+        if isinstance(message, SubscribeMsg):
+            return self.handle_subscribe(message, from_hop)
+        if isinstance(message, UnsubscribeMsg):
+            return self.handle_unsubscribe(message, from_hop)
+        if isinstance(message, PublishMsg):
+            return self.handle_publish(message, from_hop)
+        raise RoutingError("unknown message kind %r" % message.kind)
+
+    # -- advertisements ----------------------------------------------------------
+
+    def handle_advertise(self, msg: AdvertiseMsg, from_hop: object) -> Outbound:
+        """Flood the advertisement and replay intersecting subscriptions
+        toward it (so subscription/advertisement arrival order does not
+        matter)."""
+        if not self.srt.add(msg.adv_id, msg.advert, from_hop, msg.publisher_id):
+            return []  # duplicate: flooding terminates here
+        flood = True
+        if self.advert_covers is not None:
+            flood = self.advert_covers.add(msg.adv_id, msg.advert, from_hop)
+        out: Outbound = (
+            [(n, msg) for n in self.neighbors if n != from_hop]
+            if flood
+            else []
+        )
+        if self.config.advertisements:
+            out.extend(self._replay_subscriptions(msg, from_hop))
+        return out
+
+    def _replay_subscriptions(
+        self, msg: AdvertiseMsg, from_hop: object
+    ) -> Outbound:
+        """Forward stored subscriptions that intersect a new advertisement
+        toward its last hop, unless already sent or already covered there."""
+        if from_hop in self.local_clients or from_hop is None:
+            return []
+        out: Outbound = []
+        for expr in self._forwardable_exprs():
+            if self.forwarded.was_sent(expr, from_hop):
+                continue
+            if not expr_intersects(msg, expr):
+                continue
+            if self._covered_at(expr, from_hop):
+                continue
+            keys = self._keys_of(expr)
+            if keys == {from_hop}:
+                continue  # its only consumer lies behind that hop
+            out.append((from_hop, SubscribeMsg(expr=expr)))
+            self.forwarded.mark(expr, from_hop)
+        return out
+
+    def handle_unadvertise(
+        self, msg: UnadvertiseMsg, from_hop: object
+    ) -> Outbound:
+        """Retract an advertisement (extension; the paper's evaluation
+        never unadvertises).  With advertisement covering enabled,
+        advertisements the retracted one was suppressing become maximal
+        and must be flooded now."""
+        entries = {
+            entry.adv_id: entry for entry in self.srt.entries()
+        }
+        if not self.srt.remove(msg.adv_id):
+            return []
+        out: Outbound = [(n, msg) for n in self.neighbors if n != from_hop]
+        if self.advert_covers is not None:
+            for promoted_id in self.advert_covers.remove(msg.adv_id):
+                entry = entries.get(promoted_id)
+                if entry is None:
+                    continue
+                promoted_msg = AdvertiseMsg(
+                    adv_id=entry.adv_id,
+                    advert=entry.advert,
+                    publisher_id=entry.publisher_id,
+                )
+                out.extend(
+                    (n, promoted_msg)
+                    for n in self.neighbors
+                    if n != entry.last_hop
+                )
+        return out
+
+    # -- subscriptions ------------------------------------------------------------
+
+    def handle_subscribe(self, msg: SubscribeMsg, from_hop: object) -> Outbound:
+        expr = msg.expr
+        if from_hop in self.local_clients:
+            self.client_subs[from_hop].add(expr)
+
+        out: Outbound = []
+        if self.config.covering:
+            outcome = self.tree.insert(expr, from_hop)
+            targets = self._subscription_targets(expr, from_hop)
+            for n in sorted(targets, key=str):
+                if self.forwarded.was_sent(expr, n):
+                    continue
+                if self._covered_at(expr, n, exclude=expr):
+                    continue
+                out.append((n, SubscribeMsg(expr=expr)))
+                self.forwarded.mark(expr, n)
+            # Unsubscribe now-covered subscriptions from the hops that
+            # just received (or already had) the covering expression.
+            covered_now = self.forwarded.neighbors_for(expr)
+            for descendant in self._descendant_exprs(outcome.node):
+                for n in list(self.forwarded.neighbors_for(descendant)):
+                    if n in covered_now:
+                        out.append((n, UnsubscribeMsg(expr=descendant)))
+                        self.forwarded.unmark(descendant, n)
+        else:
+            self.flat.add(expr, from_hop)
+            targets = self._subscription_targets(expr, from_hop)
+            for n in sorted(targets, key=str):
+                if self.forwarded.was_sent(expr, n):
+                    continue
+                out.append((n, SubscribeMsg(expr=expr)))
+                self.forwarded.mark(expr, n)
+
+        out.extend(self._maybe_merge())
+        return out
+
+    def _subscription_targets(
+        self, expr: XPathExpr, from_hop: object
+    ) -> Set[object]:
+        """Where a subscription wants to go: toward intersecting
+        advertisements, or everywhere (flooding) without them."""
+        if self.config.advertisements:
+            targets = {
+                hop
+                for hop in self.srt.matching_last_hops(expr)
+                if hop in self.neighbors
+            }
+        else:
+            targets = set(self.neighbors)
+        targets.discard(from_hop)
+        return targets
+
+    def _covered_at(
+        self,
+        expr: XPathExpr,
+        neighbor: object,
+        exclude: Optional[XPathExpr] = None,
+    ) -> bool:
+        """Is some stored subscription covering *expr* already forwarded
+        to *neighbor*?  Tree ancestors are exactly the stored coverers
+        (the insert procedure descends into any covering node)."""
+        if not self.config.covering:
+            return False
+        node = self.tree.node_of(expr)
+        if node is None:
+            return False
+        current = node
+        while current is not None and current.expr is not None:
+            if current.expr != exclude and self.forwarded.was_sent(
+                current.expr, neighbor
+            ):
+                return True
+            current = current.parent
+        return False
+
+    def _descendant_exprs(self, node) -> List[XPathExpr]:
+        result = []
+        stack = list(node.children)
+        while stack:
+            current = stack.pop()
+            result.append(current.expr)
+            stack.extend(current.children)
+        return result
+
+    def _forwardable_exprs(self) -> List[XPathExpr]:
+        """XPEs this broker is responsible for propagating."""
+        if self.config.covering:
+            return [node.expr for node in self.tree.iter_nodes()]
+        return self.flat.exprs()
+
+    def _keys_of(self, expr: XPathExpr) -> Set[object]:
+        if self.config.covering:
+            node = self.tree.node_of(expr)
+            return set(node.keys) if node is not None else set()
+        return self.flat.keys_of(expr)
+
+    # -- unsubscriptions --------------------------------------------------------
+
+    def handle_unsubscribe(
+        self, msg: UnsubscribeMsg, from_hop: object
+    ) -> Outbound:
+        expr = msg.expr
+        if from_hop in self.local_clients:
+            self.client_subs[from_hop].discard(expr)
+
+        out: Outbound = []
+        if self.config.covering:
+            outcome = self.tree.remove(expr, from_hop)
+            if not outcome.removed:
+                return out
+            for n in self.forwarded.drop(expr):
+                out.append((n, UnsubscribeMsg(expr=expr)))
+            # Children the removed node was covering may now need their
+            # own propagation.
+            for promoted in outcome.promoted:
+                targets = self._subscription_targets(promoted, None)
+                for n in sorted(targets, key=str):
+                    if self.forwarded.was_sent(promoted, n):
+                        continue
+                    if self._covered_at(promoted, n):
+                        continue
+                    keys = self._keys_of(promoted)
+                    if keys == {n}:
+                        continue
+                    out.append((n, SubscribeMsg(expr=promoted)))
+                    self.forwarded.mark(promoted, n)
+        else:
+            before = len(self.flat)
+            self.flat.remove(expr, from_hop)
+            if len(self.flat) < before:
+                for n in self.forwarded.drop(expr):
+                    out.append((n, UnsubscribeMsg(expr=expr)))
+        return out
+
+    # -- publications --------------------------------------------------------------
+
+    def handle_publish(self, msg: PublishMsg, from_hop: object) -> Outbound:
+        path = msg.publication.path
+        attributes = msg.publication.attribute_maps()
+        if self.config.covering:
+            keys = self.tree.match_keys(path, attributes)
+        else:
+            keys = self.flat.match(path, attributes)
+
+        out: Outbound = []
+        for key in sorted(keys, key=str):
+            if key == from_hop:
+                continue
+            if key in self.local_clients:
+                if self._client_wants(key, path, attributes):
+                    out.append((key, msg))
+            elif key in self.neighbors:
+                out.append((key, msg))
+        return out
+
+    def _client_wants(self, client_id: object, path, attributes=None) -> bool:
+        """Exact-subscription recheck at the edge: merging-induced false
+        positives stop here and never reach clients."""
+        return any(
+            matches_path(expr, path, attributes)
+            for expr in self.client_subs[client_id]
+        )
+
+    # -- merging ---------------------------------------------------------------------
+
+    def _maybe_merge(self) -> Outbound:
+        if self._merger is None:
+            return []
+        self._subs_since_merge += 1
+        if self._subs_since_merge < self.config.merge_interval:
+            return []
+        self._subs_since_merge = 0
+        return self.run_merge_sweep()
+
+    def run_merge_sweep(self) -> Outbound:
+        """Apply one merging sweep and emit the routing updates: forward
+        each merger, then retract the subscriptions it replaced."""
+        if self._merger is None or self.tree is None:
+            return []
+        report = self._merger.merge_tree(self.tree)
+        out: Outbound = []
+        for event in report.events:
+            replaced_hops: Set[object] = set()
+            for old in event.replaced:
+                replaced_hops |= self.forwarded.neighbors_for(old)
+            if not replaced_hops:
+                continue  # nothing was ever forwarded; purely local merge
+            targets = self._subscription_targets(event.merger, None)
+            for n in sorted(targets, key=str):
+                if self.forwarded.was_sent(event.merger, n):
+                    continue
+                if self._covered_at(event.merger, n, exclude=event.merger):
+                    continue
+                out.append((n, SubscribeMsg(expr=event.merger)))
+                self.forwarded.mark(event.merger, n)
+            for old in event.replaced:
+                for n in self.forwarded.drop(old):
+                    out.append((n, UnsubscribeMsg(expr=old)))
+        return out
+
+    # -- metrics ------------------------------------------------------------------
+
+    def routing_table_size(self) -> int:
+        """Number of XPEs in the publication routing table (Fig. 6/7
+        metric)."""
+        if self.config.covering:
+            return len(self.tree)
+        return len(self.flat)
+
+    def forwarded_table_size(self) -> int:
+        """Number of XPEs this broker has propagated downstream."""
+        return len(self.forwarded)
+
+    def describe(self) -> Dict[str, object]:
+        """Human-oriented state summary (CLI / debugging)."""
+        summary = {
+            "broker_id": self.broker_id,
+            "strategy": self.config.name,
+            "neighbors": sorted(map(str, self.neighbors)),
+            "local_clients": sorted(map(str, self.local_clients)),
+            "advertisements": len(self.srt),
+            "subscriptions": self.routing_table_size(),
+            "forwarded": len(self.forwarded),
+            "messages_handled": dict(self.stats),
+        }
+        if self.config.covering:
+            summary["top_level_subscriptions"] = self.tree.top_level_size()
+        if self.advert_covers is not None:
+            summary["maximal_advertisements"] = (
+                self.advert_covers.maximal_count()
+            )
+        return summary
+
+    def __repr__(self):
+        return "Broker(%r, %s)" % (self.broker_id, self.config.name)
+
+
+def expr_intersects(msg: AdvertiseMsg, expr: XPathExpr) -> bool:
+    """Advertisement/XPE intersection (delegates to the §3 algorithms)."""
+    from repro.adverts.recursive import expr_and_advertisement
+
+    return expr_and_advertisement(msg.advert, expr)

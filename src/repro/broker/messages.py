@@ -1,0 +1,89 @@
+"""Protocol messages exchanged between brokers and clients.
+
+Four message kinds flow through the overlay, mirroring the paper's
+Figure 1 machinery:
+
+* advertisements (flooded, build the SRT),
+* subscriptions (routed along advertisement reverse paths, build the PRT),
+* unsubscriptions (retract subscriptions; also emitted by covering and
+  merging optimisations),
+* publications (root-to-leaf document paths, routed along subscription
+  reverse paths).
+
+Messages are immutable; the simulator counts every broker-to-broker and
+client-to-broker hop of each message as one unit of network traffic.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+
+from repro.adverts.model import Advertisement
+from repro.xmldoc.document import Publication
+from repro.xpath.ast import XPathExpr
+
+_msg_counter = itertools.count()
+
+
+def _next_msg_id() -> int:
+    return next(_msg_counter)
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class; ``msg_id`` is unique per process."""
+
+    msg_id: int = field(default_factory=_next_msg_id, init=False)
+
+    @property
+    def kind(self) -> str:
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class AdvertiseMsg(Message):
+    """An advertisement flooded through the overlay."""
+
+    adv_id: str = ""
+    advert: Advertisement = None
+    publisher_id: str = ""
+
+
+@dataclass(frozen=True)
+class UnadvertiseMsg(Message):
+    """Retracts a previously flooded advertisement."""
+
+    adv_id: str = ""
+
+
+@dataclass(frozen=True)
+class SubscribeMsg(Message):
+    """A subscription (an XPE) travelling toward matching publishers."""
+
+    expr: XPathExpr = None
+    subscriber_id: str = ""
+
+
+@dataclass(frozen=True)
+class UnsubscribeMsg(Message):
+    """Retracts a subscription by exact XPE."""
+
+    expr: XPathExpr = None
+    subscriber_id: str = ""
+
+
+@dataclass(frozen=True)
+class PublishMsg(Message):
+    """One publication path of a document, with transport size metadata.
+
+    ``doc_size_bytes`` carries the size of the underlying document so
+    latency models can charge transmission time (the paper's Figures
+    10–11 vary document size).
+    """
+
+    publication: Publication = None
+    publisher_id: str = ""
+    doc_size_bytes: int = 0
+    issued_at: float = 0.0

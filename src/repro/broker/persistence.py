@@ -1,0 +1,145 @@
+"""Broker state snapshots.
+
+A broker restarting in a real deployment must rebuild its routing state
+(SRT, PRT, forwarding records, client subscriptions) or the overlay
+silently loses deliveries.  :func:`snapshot` captures a broker's full
+routing state as a JSON-serialisable dict; :func:`restore` rebuilds an
+equivalent broker.  Round-tripping preserves routing behaviour exactly
+(asserted by tests/test_persistence.py, which compares the restored
+broker's decisions message-for-message).
+
+Keys (last hops and client ids) must be strings — which they are
+everywhere in the overlay and the TCP deployment.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+from repro.broker.broker import Broker
+from repro.broker.strategies import MergingMode, RoutingConfig
+from repro.errors import ReproError
+from repro.network.wire import advert_from_obj, advert_to_obj
+from repro.xpath.parser import parse_xpath
+
+
+class PersistenceError(ReproError):
+    """Raised for malformed snapshots."""
+
+
+def snapshot(broker: Broker) -> Dict:
+    """Capture *broker*'s routing state as plain data."""
+    config = broker.config
+    state = {
+        "broker_id": broker.broker_id,
+        "config": {
+            "advertisements": config.advertisements,
+            "covering": config.covering,
+            "merging": config.merging.value,
+            "max_imperfect_degree": config.max_imperfect_degree,
+            "merge_interval": config.merge_interval,
+            "advert_covering": config.advert_covering,
+        },
+        "neighbors": sorted(map(str, broker.neighbors)),
+        "local_clients": sorted(map(str, broker.local_clients)),
+        "srt": [
+            {
+                "adv_id": entry.adv_id,
+                "advert": advert_to_obj(entry.advert),
+                "last_hop": str(entry.last_hop),
+                "publisher_id": entry.publisher_id,
+            }
+            for entry in broker.srt.entries()
+        ],
+        "subscriptions": [
+            {"expr": str(expr), "keys": sorted(map(str, keys))}
+            for expr, keys in _subscription_items(broker)
+        ],
+        "forwarded": [
+            {
+                "expr": str(expr),
+                "neighbors": sorted(
+                    map(str, broker.forwarded.neighbors_for(expr))
+                ),
+            }
+            for expr in sorted(broker.forwarded.exprs(), key=str)
+        ],
+        "client_subs": {
+            str(client): sorted(str(expr) for expr in exprs)
+            for client, exprs in broker.client_subs.items()
+            if exprs
+        },
+    }
+    return state
+
+
+def _subscription_items(broker: Broker):
+    if broker.config.covering:
+        for node in sorted(broker.tree.iter_nodes(), key=lambda n: str(n.expr)):
+            yield node.expr, node.keys
+    else:
+        for expr in sorted(broker.flat.exprs(), key=str):
+            yield expr, broker.flat.keys_of(expr)
+
+
+def snapshot_json(broker: Broker) -> str:
+    """JSON text form of :func:`snapshot`."""
+    return json.dumps(snapshot(broker), indent=2, sort_keys=True)
+
+
+def restore(state: Dict, universe=None) -> Broker:
+    """Rebuild a broker from a :func:`snapshot` dict."""
+    try:
+        config_state = state["config"]
+        config = RoutingConfig(
+            advertisements=config_state["advertisements"],
+            covering=config_state["covering"],
+            merging=MergingMode(config_state["merging"]),
+            max_imperfect_degree=config_state["max_imperfect_degree"],
+            merge_interval=config_state["merge_interval"],
+            advert_covering=config_state.get("advert_covering", False),
+        )
+        broker = Broker(state["broker_id"], config=config, universe=universe)
+        for neighbor in state["neighbors"]:
+            broker.connect(neighbor)
+        for client in state["local_clients"]:
+            broker.attach_client(client)
+        for entry in state["srt"]:
+            advert = advert_from_obj(entry["advert"])
+            broker.srt.add(
+                entry["adv_id"],
+                advert,
+                entry["last_hop"],
+                entry.get("publisher_id", ""),
+            )
+            if broker.advert_covers is not None:
+                broker.advert_covers.add(
+                    entry["adv_id"], advert, entry["last_hop"]
+                )
+        for item in state["subscriptions"]:
+            expr = parse_xpath(item["expr"])
+            for key in item["keys"]:
+                if broker.config.covering:
+                    broker.tree.insert(expr, key)
+                else:
+                    broker.flat.add(expr, key)
+        for item in state["forwarded"]:
+            expr = parse_xpath(item["expr"])
+            for neighbor in item["neighbors"]:
+                broker.forwarded.mark(expr, neighbor)
+        for client, exprs in state.get("client_subs", {}).items():
+            for text in exprs:
+                broker.client_subs[client].add(parse_xpath(text))
+        return broker
+    except (KeyError, TypeError, ValueError) as exc:
+        raise PersistenceError("malformed broker snapshot: %s" % exc)
+
+
+def restore_json(text: str, universe=None) -> Broker:
+    """Rebuild a broker from :func:`snapshot_json` output."""
+    try:
+        state = json.loads(text)
+    except ValueError as exc:
+        raise PersistenceError("invalid snapshot JSON: %s" % exc)
+    return restore(state, universe=universe)

@@ -1,0 +1,201 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro.cli adverts --sample nitf          # advertisement set
+    python -m repro.cli adverts my.dtd --stats
+    python -m repro.cli paths --sample psd             # DTD path universe
+    python -m repro.cli workload --sample psd -n 20    # query generator
+    python -m repro.cli match "/a//b" a/x/b            # XPE vs path
+    python -m repro.cli covers "/a" "/a/b"             # covering check
+    python -m repro.cli simulate --levels 3 --strategy with-Adv-with-Cov
+    python -m repro.cli experiments --only fig6        # paper tables
+
+Each subcommand is a thin veneer over the library — anything it prints
+can be recomputed through the public API.
+"""
+
+from __future__ import annotations
+
+import argparse
+import collections
+import sys
+
+from repro.adverts.generator import generate_advertisements
+from repro.broker.strategies import RoutingConfig
+from repro.covering.algorithms import covers
+from repro.covering.pathmatch import matches_path
+from repro.dtd.parser import parse_dtd
+from repro.dtd.paths import enumerate_paths, is_recursive
+from repro.dtd.samples import nitf_dtd, psd_dtd
+from repro.errors import ReproError
+from repro.xpath.parser import parse_xpath
+
+
+def _load_dtd(args):
+    if args.sample:
+        return {"nitf": nitf_dtd, "psd": psd_dtd}[args.sample]()
+    if not args.dtd_file:
+        raise SystemExit("error: provide a DTD file or --sample nitf|psd")
+    with open(args.dtd_file) as handle:
+        return parse_dtd(handle.read())
+
+
+def _add_dtd_options(parser):
+    parser.add_argument("dtd_file", nargs="?", help="path to a DTD file")
+    parser.add_argument(
+        "--sample",
+        choices=("nitf", "psd"),
+        help="use a bundled sample DTD instead of a file",
+    )
+
+
+def cmd_adverts(args) -> int:
+    dtd = _load_dtd(args)
+    adverts = generate_advertisements(dtd)
+    if args.stats:
+        kinds = collections.Counter(advert.kind for advert in adverts)
+        print("root element: %s" % dtd.root)
+        print("recursive DTD: %s" % is_recursive(dtd))
+        print("advertisements: %d" % len(adverts))
+        for kind, count in sorted(kinds.items()):
+            print("  %-20s %6d" % (kind, count))
+    else:
+        for advert in adverts:
+            print(advert)
+    return 0
+
+
+def cmd_paths(args) -> int:
+    dtd = _load_dtd(args)
+    for path in enumerate_paths(dtd, max_depth=args.max_depth):
+        print("/" + "/".join(path))
+    return 0
+
+
+def cmd_workload(args) -> int:
+    from repro.workloads.xpath_generator import (
+        XPathWorkloadParams,
+        generate_queries,
+    )
+
+    dtd = _load_dtd(args)
+    params = XPathWorkloadParams(
+        wildcard_prob=args.wildcard_prob,
+        descendant_prob=args.descendant_prob,
+        relative_prob=args.relative_prob,
+        max_length=args.max_length,
+    )
+    for query in generate_queries(dtd, args.count, params=params, seed=args.seed):
+        print(query)
+    return 0
+
+
+def cmd_match(args) -> int:
+    expr = parse_xpath(args.xpe)
+    path = tuple(part for part in args.path.strip("/").split("/") if part)
+    matched = matches_path(expr, path)
+    print("MATCH" if matched else "NO MATCH")
+    return 0 if matched else 1
+
+
+def cmd_covers(args) -> int:
+    s1, s2 = parse_xpath(args.coverer), parse_xpath(args.covered)
+    answer = covers(s1, s2)
+    print("COVERS" if answer else "DOES NOT COVER")
+    return 0 if answer else 1
+
+
+def cmd_simulate(args) -> int:
+    from repro.experiments.tables23 import run_traffic_experiment
+
+    strategies = [args.strategy] if args.strategy else None
+    result = run_traffic_experiment(
+        levels=args.levels,
+        xpes_per_subscriber=args.xpes,
+        documents=args.documents,
+        strategies=strategies,
+        seed=args.seed,
+        check_delivery_equivalence=strategies is None,
+    )
+    print(result.format())
+    return 0
+
+
+def cmd_experiments(args) -> int:
+    from repro.experiments.__main__ import main as experiments_main
+
+    forwarded = []
+    if args.scale != 1.0:
+        forwarded.extend(["--scale", str(args.scale)])
+    if args.only:
+        forwarded.append("--only")
+        forwarded.extend(args.only)
+    return experiments_main(forwarded)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="XML/XPath data dissemination network (ICDCS 2008 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("adverts", help="derive a DTD's advertisement set")
+    _add_dtd_options(p)
+    p.add_argument("--stats", action="store_true", help="summary only")
+    p.set_defaults(fn=cmd_adverts)
+
+    p = sub.add_parser("paths", help="enumerate a DTD's root-to-leaf paths")
+    _add_dtd_options(p)
+    p.add_argument("--max-depth", type=int, default=10)
+    p.set_defaults(fn=cmd_paths)
+
+    p = sub.add_parser("workload", help="generate an XPath query workload")
+    _add_dtd_options(p)
+    p.add_argument("-n", "--count", type=int, default=20)
+    p.add_argument("--wildcard-prob", type=float, default=0.2)
+    p.add_argument("--descendant-prob", type=float, default=0.15)
+    p.add_argument("--relative-prob", type=float, default=0.2)
+    p.add_argument("--max-length", type=int, default=10)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_workload)
+
+    p = sub.add_parser("match", help="match an XPE against a path")
+    p.add_argument("xpe")
+    p.add_argument("path", help="e.g. /a/b/c")
+    p.set_defaults(fn=cmd_match)
+
+    p = sub.add_parser("covers", help="covering check between two XPEs")
+    p.add_argument("coverer")
+    p.add_argument("covered")
+    p.set_defaults(fn=cmd_covers)
+
+    p = sub.add_parser("simulate", help="run an overlay traffic experiment")
+    p.add_argument("--levels", type=int, default=3)
+    p.add_argument("--xpes", type=int, default=100)
+    p.add_argument("--documents", type=int, default=10)
+    p.add_argument("--strategy", choices=RoutingConfig.ALL_NAMES)
+    p.add_argument("--seed", type=int, default=5)
+    p.set_defaults(fn=cmd_simulate)
+
+    p = sub.add_parser("experiments", help="reproduce the paper's tables/figures")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--only", nargs="*", default=None)
+    p.set_defaults(fn=cmd_experiments)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

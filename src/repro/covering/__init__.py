@@ -1,0 +1,26 @@
+"""Covering detection and the subscription tree (paper §4.1–4.2)."""
+
+from repro.covering.rules import covers_block, covers_test
+from repro.covering.algorithms import abs_sim_cov, covers, des_cov, rel_sim_cov
+from repro.covering.pathmatch import matches_document_paths, matches_path
+from repro.covering.subscription_tree import (
+    InsertOutcome,
+    RemoveOutcome,
+    SubNode,
+    SubscriptionTree,
+)
+
+__all__ = [
+    "covers_block",
+    "covers_test",
+    "abs_sim_cov",
+    "covers",
+    "des_cov",
+    "rel_sim_cov",
+    "matches_document_paths",
+    "matches_path",
+    "InsertOutcome",
+    "RemoveOutcome",
+    "SubNode",
+    "SubscriptionTree",
+]

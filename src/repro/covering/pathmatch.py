@@ -1,0 +1,101 @@
+"""Publication-path vs. XPE matching.
+
+A publication is a root-to-leaf path of concrete element names (paper
+§3.1), optionally annotated with per-element attribute mappings (the
+value-comparison extension).  An XPE matches a publication when it
+selects a node on the path:
+
+* an absolute XPE must cover a *prefix* of the path,
+* a relative XPE must cover some contiguous *infix*,
+* ``//`` splits the XPE into segments that must cover disjoint infixes
+  in order (the first anchored at position 0 for absolute XPEs),
+* a step's attribute predicates must hold at its matched position.
+
+Greedy earliest placement is exact for predicate-free expressions (path
+elements are concrete, so segment feasibility is monotone in the start
+position) and remains exact with predicates — they only further
+constrain individual positions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.xpath.ast import WILDCARD, XPathExpr
+
+_EMPTY = {}
+
+
+def _segment_at(segment, path, attributes, offset):
+    """Match one predicate-aware segment of Step objects at *offset*."""
+    if offset + len(segment) > len(path):
+        return False
+    for i, step in enumerate(segment):
+        if step.test != WILDCARD and step.test != path[offset + i]:
+            return False
+        if step.predicates:
+            attrs = (
+                attributes[offset + i] if attributes is not None else _EMPTY
+            )
+            if not all(p.evaluate(attrs) for p in step.predicates):
+                return False
+    return True
+
+
+def _tests_at(segment, path, offset):
+    """Fast path: predicate-free segment of bare tests at *offset*."""
+    if offset + len(segment) > len(path):
+        return False
+    for i, test in enumerate(segment):
+        if test != WILDCARD and test != path[offset + i]:
+            return False
+    return True
+
+
+def matches_path(
+    expr: XPathExpr,
+    path: Sequence[str],
+    attributes: Optional[Sequence] = None,
+) -> bool:
+    """True when *expr* matches the publication *path*.
+
+    Args:
+        expr: the XPE.
+        path: root-to-leaf element names.
+        attributes: optional per-element attribute mappings, aligned
+            with *path*; when omitted, every element has no attributes
+            (so predicates other than nothing fail).
+    """
+    if len(expr) > len(path):
+        return False
+    if expr.has_predicates:
+        segments = expr.step_segments
+        test = lambda segment, offset: _segment_at(
+            segment, path, attributes, offset
+        )
+    else:
+        segments = expr.segments
+        test = lambda segment, offset: _tests_at(segment, path, offset)
+
+    position = 0
+    for index, segment in enumerate(segments):
+        if index == 0 and expr.anchored:
+            if not test(segment, 0):
+                return False
+            position = len(segment)
+            continue
+        placed = False
+        for offset in range(position, len(path) - len(segment) + 1):
+            if test(segment, offset):
+                position = offset + len(segment)
+                placed = True
+                break
+        if not placed:
+            return False
+    return True
+
+
+def matches_document_paths(expr: XPathExpr, paths) -> bool:
+    """True when *expr* matches at least one root-to-leaf path of a
+    document given as an iterable of paths."""
+    return any(matches_path(expr, path) for path in paths)

@@ -1,0 +1,47 @@
+"""DTD parsing and path analysis for publisher advertisement generation."""
+
+from repro.dtd.model import (
+    ContentKind,
+    DTD,
+    ElementDecl,
+    Occurrence,
+    Particle,
+    ParticleKind,
+)
+from repro.dtd.parser import parse_dtd
+from repro.dtd.paths import (
+    count_paths,
+    element_positions,
+    enumerate_paths,
+    is_recursive,
+    recursive_elements,
+)
+from repro.dtd.samples import (
+    NITF_DTD_TEXT,
+    PSD_DTD_TEXT,
+    XMARK_DTD_TEXT,
+    nitf_dtd,
+    psd_dtd,
+    xmark_dtd,
+)
+
+__all__ = [
+    "ContentKind",
+    "DTD",
+    "ElementDecl",
+    "Occurrence",
+    "Particle",
+    "ParticleKind",
+    "parse_dtd",
+    "count_paths",
+    "element_positions",
+    "enumerate_paths",
+    "is_recursive",
+    "recursive_elements",
+    "NITF_DTD_TEXT",
+    "PSD_DTD_TEXT",
+    "XMARK_DTD_TEXT",
+    "nitf_dtd",
+    "psd_dtd",
+    "xmark_dtd",
+]

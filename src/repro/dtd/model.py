@@ -1,0 +1,165 @@
+"""Object model for Document Type Definitions (DTDs).
+
+The paper derives publisher advertisements from the publisher's DTD
+(paper §3.1): the DTD fixes the legal element hierarchy, so every
+root-to-leaf element path of any conforming document can be predicted.
+This module models exactly the part of a DTD needed for that purpose —
+element declarations and their content models.  Attribute lists and
+entities are accepted by the parser but ignored, as in the paper.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Tuple
+
+
+class Occurrence(enum.Enum):
+    """Occurrence indicator attached to a content particle."""
+
+    ONE = ""
+    OPTIONAL = "?"
+    STAR = "*"
+    PLUS = "+"
+
+    @property
+    def allows_zero(self):
+        return self in (Occurrence.OPTIONAL, Occurrence.STAR)
+
+    @property
+    def allows_many(self):
+        return self in (Occurrence.STAR, Occurrence.PLUS)
+
+
+class ParticleKind(enum.Enum):
+    """Structural kind of a content particle."""
+
+    NAME = "name"
+    SEQUENCE = "sequence"
+    CHOICE = "choice"
+
+
+@dataclass(frozen=True)
+class Particle:
+    """A node of a content-model expression tree.
+
+    ``NAME`` particles reference a child element; ``SEQUENCE`` and
+    ``CHOICE`` particles combine sub-particles with ``,`` and ``|``
+    respectively.  Every particle carries an occurrence indicator.
+    """
+
+    kind: ParticleKind
+    name: Optional[str] = None
+    children: Tuple["Particle", ...] = ()
+    occurrence: Occurrence = Occurrence.ONE
+
+    def element_names(self):
+        """All element names referenced anywhere inside this particle."""
+        if self.kind is ParticleKind.NAME:
+            return {self.name}
+        names = set()
+        for child in self.children:
+            names |= child.element_names()
+        return names
+
+    def can_be_empty(self):
+        """True when this particle can match zero element children."""
+        if self.occurrence.allows_zero:
+            return True
+        if self.kind is ParticleKind.NAME:
+            return False
+        if self.kind is ParticleKind.SEQUENCE:
+            return all(child.can_be_empty() for child in self.children)
+        # CHOICE: empty if any alternative can be empty.
+        return any(child.can_be_empty() for child in self.children)
+
+    def __str__(self):
+        if self.kind is ParticleKind.NAME:
+            return "%s%s" % (self.name, self.occurrence.value)
+        sep = ", " if self.kind is ParticleKind.SEQUENCE else " | "
+        inner = sep.join(str(child) for child in self.children)
+        return "(%s)%s" % (inner, self.occurrence.value)
+
+
+class ContentKind(enum.Enum):
+    """The four flavours of element content in XML 1.0."""
+
+    EMPTY = "EMPTY"
+    ANY = "ANY"
+    PCDATA = "PCDATA"  # (#PCDATA) — text only
+    MIXED = "MIXED"  # (#PCDATA | a | b)* — text plus elements
+    CHILDREN = "CHILDREN"  # a structured content particle
+
+
+@dataclass(frozen=True)
+class ElementDecl:
+    """A ``<!ELEMENT name content>`` declaration."""
+
+    name: str
+    kind: ContentKind
+    particle: Optional[Particle] = None
+    mixed_names: FrozenSet[str] = frozenset()
+
+    def child_names(self):
+        """Element names that may appear as direct children."""
+        if self.kind is ContentKind.CHILDREN:
+            return self.particle.element_names()
+        if self.kind is ContentKind.MIXED:
+            return set(self.mixed_names)
+        return set()
+
+    def can_be_leaf(self):
+        """True when a conforming element may have no element children.
+
+        Such an element can terminate a root-to-leaf path in some
+        document instance, so advertisement generation must emit a path
+        ending here.
+        """
+        if self.kind in (ContentKind.EMPTY, ContentKind.PCDATA,
+                         ContentKind.ANY, ContentKind.MIXED):
+            return True
+        return self.particle.can_be_empty()
+
+
+@dataclass
+class DTD:
+    """A parsed DTD: the root element plus all element declarations."""
+
+    root: str
+    elements: Dict[str, ElementDecl] = field(default_factory=dict)
+    source: str = ""
+
+    def __post_init__(self):
+        if self.root not in self.elements:
+            raise ValueError("root element %r is not declared" % self.root)
+
+    def declaration(self, name):
+        """The :class:`ElementDecl` for *name* (KeyError if undeclared)."""
+        return self.elements[name]
+
+    def child_map(self):
+        """Mapping of element name -> sorted tuple of child element names.
+
+        Undeclared children referenced by a content model are dropped —
+        they could never appear in a validated document.  The map is
+        computed once and cached (declarations are immutable).
+        """
+        cached = getattr(self, "_child_map_cache", None)
+        if cached is None:
+            known = set(self.elements)
+            cached = {
+                name: tuple(sorted(decl.child_names() & known))
+                for name, decl in self.elements.items()
+            }
+            self._child_map_cache = cached
+        return cached
+
+    def element_names(self):
+        return sorted(self.elements)
+
+    def __contains__(self, name):
+        return name in self.elements
+
+    def __len__(self):
+        return len(self.elements)

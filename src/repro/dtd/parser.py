@@ -1,0 +1,211 @@
+"""A small DTD parser covering the element-declaration subset.
+
+Supports::
+
+    <!ELEMENT name EMPTY>
+    <!ELEMENT name ANY>
+    <!ELEMENT name (#PCDATA)>
+    <!ELEMENT name (#PCDATA | a | b)*>
+    <!ELEMENT name (a, (b | c)*, d?)+>
+
+``<!ATTLIST ...>``, ``<!ENTITY ...>``, ``<!NOTATION ...>``, comments and
+processing instructions are recognised and skipped — the routing system
+only needs the element hierarchy (paper §3.1).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import DTDSyntaxError
+from repro.dtd.model import (
+    ContentKind,
+    DTD,
+    ElementDecl,
+    Occurrence,
+    Particle,
+    ParticleKind,
+)
+
+_COMMENT_RE = re.compile(r"<!--.*?-->", re.DOTALL)
+_SKIP_DECL_RE = re.compile(
+    r"<!(?:ATTLIST|ENTITY|NOTATION)\b[^>]*>", re.DOTALL
+)
+_PI_RE = re.compile(r"<\?.*?\?>", re.DOTALL)
+_ELEMENT_RE = re.compile(
+    r"<!ELEMENT\s+(?P<name>[A-Za-z_][\w.:\-]*)\s+(?P<content>[^>]+)>",
+    re.DOTALL,
+)
+_NAME_RE = re.compile(r"[A-Za-z_][\w.:\-]*")
+
+
+def parse_dtd(text, root=None):
+    """Parse DTD *text* into a :class:`~repro.dtd.model.DTD`.
+
+    Args:
+        text: the DTD source.
+        root: the document root element.  Defaults to the first declared
+            element, which is the convention of both sample DTDs.
+
+    Raises:
+        DTDSyntaxError: on malformed declarations, duplicate element
+            declarations, or an undeclared root.
+    """
+    cleaned = _COMMENT_RE.sub(" ", text)
+    cleaned = _PI_RE.sub(" ", cleaned)
+    cleaned = _SKIP_DECL_RE.sub(" ", cleaned)
+
+    elements = {}
+    order = []
+    for match in _ELEMENT_RE.finditer(cleaned):
+        name = match.group("name")
+        if name in elements:
+            raise DTDSyntaxError("element %r declared twice" % name)
+        decl = _parse_content(name, match.group("content").strip())
+        elements[name] = decl
+        order.append(name)
+
+    if not elements:
+        raise DTDSyntaxError("no element declarations found")
+
+    leftover = _ELEMENT_RE.sub(" ", cleaned)
+    if "<!ELEMENT" in leftover:
+        raise DTDSyntaxError("malformed <!ELEMENT ...> declaration")
+
+    if root is None:
+        root = order[0]
+    if root not in elements:
+        raise DTDSyntaxError("root element %r is not declared" % root)
+    return DTD(root=root, elements=elements, source=text)
+
+
+def _parse_content(name, content):
+    """Parse the content-model part of an element declaration."""
+    if content == "EMPTY":
+        return ElementDecl(name=name, kind=ContentKind.EMPTY)
+    if content == "ANY":
+        return ElementDecl(name=name, kind=ContentKind.ANY)
+    if content.replace(" ", "") == "(#PCDATA)":
+        return ElementDecl(name=name, kind=ContentKind.PCDATA)
+    if "#PCDATA" in content:
+        return _parse_mixed(name, content)
+    particle, pos = _parse_particle(content, 0)
+    pos = _skip_ws(content, pos)
+    if pos != len(content):
+        raise DTDSyntaxError(
+            "trailing characters in content model of %r: %r"
+            % (name, content[pos:])
+        )
+    return ElementDecl(name=name, kind=ContentKind.CHILDREN, particle=particle)
+
+
+def _parse_mixed(name, content):
+    """Parse mixed content: ``(#PCDATA | a | b)*``."""
+    stripped = content.strip()
+    if not (stripped.startswith("(") and stripped.rstrip("*").rstrip().endswith(")")):
+        raise DTDSyntaxError("malformed mixed content for %r" % name)
+    body = stripped.rstrip()
+    if body.endswith("*"):
+        body = body[:-1].rstrip()
+    body = body[1:-1]  # strip parens
+    parts = [part.strip() for part in body.split("|")]
+    if parts[0] != "#PCDATA":
+        raise DTDSyntaxError("#PCDATA must come first in mixed content")
+    names = []
+    for part in parts[1:]:
+        if not _NAME_RE.fullmatch(part):
+            raise DTDSyntaxError(
+                "bad element name %r in mixed content of %r" % (part, name)
+            )
+        names.append(part)
+    if names and not stripped.endswith("*"):
+        raise DTDSyntaxError(
+            "mixed content with elements must end with '*' (%r)" % name
+        )
+    return ElementDecl(
+        name=name, kind=ContentKind.MIXED, mixed_names=frozenset(names)
+    )
+
+
+def _skip_ws(text, pos):
+    while pos < len(text) and text[pos].isspace():
+        pos += 1
+    return pos
+
+
+def _parse_particle(text, pos):
+    """Recursive-descent parse of one content particle at *pos*."""
+    pos = _skip_ws(text, pos)
+    if pos >= len(text):
+        raise DTDSyntaxError("unexpected end of content model")
+    if text[pos] == "(":
+        children = []
+        separator = None
+        pos += 1
+        while True:
+            child, pos = _parse_particle(text, pos)
+            children.append(child)
+            pos = _skip_ws(text, pos)
+            if pos >= len(text):
+                raise DTDSyntaxError("unterminated group in content model")
+            if text[pos] == ")":
+                pos += 1
+                break
+            if text[pos] not in ",|":
+                raise DTDSyntaxError(
+                    "expected ',', '|' or ')' in content model, got %r"
+                    % text[pos]
+                )
+            if separator is None:
+                separator = text[pos]
+            elif text[pos] != separator:
+                raise DTDSyntaxError(
+                    "cannot mix ',' and '|' in one group"
+                )
+            pos += 1
+        occurrence, pos = _parse_occurrence(text, pos)
+        kind = (
+            ParticleKind.CHOICE if separator == "|" else ParticleKind.SEQUENCE
+        )
+        if len(children) == 1 and separator is None:
+            # A parenthesised single particle: fold the occurrence in
+            # unless both the group and the child carry one.
+            child = children[0]
+            if occurrence is Occurrence.ONE:
+                return child, pos
+            if child.occurrence is Occurrence.ONE:
+                return (
+                    Particle(
+                        kind=child.kind,
+                        name=child.name,
+                        children=child.children,
+                        occurrence=occurrence,
+                    ),
+                    pos,
+                )
+        return (
+            Particle(
+                kind=kind, children=tuple(children), occurrence=occurrence
+            ),
+            pos,
+        )
+    match = _NAME_RE.match(text, pos)
+    if match is None:
+        raise DTDSyntaxError(
+            "expected element name or '(' in content model at %r"
+            % text[pos : pos + 20]
+        )
+    pos = match.end()
+    occurrence, pos = _parse_occurrence(text, pos)
+    return (
+        Particle(
+            kind=ParticleKind.NAME, name=match.group(0), occurrence=occurrence
+        ),
+        pos,
+    )
+
+
+def _parse_occurrence(text, pos):
+    if pos < len(text) and text[pos] in "?*+":
+        return Occurrence(text[pos]), pos + 1
+    return Occurrence.ONE, pos

@@ -1,0 +1,143 @@
+"""Path analysis over DTD element graphs.
+
+Advertisement generation (paper §3.1) needs two facts about a DTD:
+
+* the set of root-to-leaf element paths a conforming document can
+  exhibit, and
+* whether the DTD is *recursive* — contains elements reachable from
+  themselves — in which case the path set is infinite and must be
+  summarised with ``(...)+`` recursion patterns.
+
+This module provides cycle detection and a bounded path enumerator that
+also serves as the "path universe" used to compute merge imperfection
+degrees (paper §4.3) and perfect-merger checks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.dtd.model import DTD
+
+
+def recursive_elements(dtd: DTD) -> Set[str]:
+    """Element names that participate in a reachability cycle.
+
+    An element is recursive when it can (transitively) contain itself.
+    Implemented as an iterative Tarjan SCC over the child graph; members
+    of non-trivial SCCs and self-looping elements are recursive.
+    """
+    graph = dtd.child_map()
+    index_of: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    counter = [0]
+    result: Set[str] = set()
+
+    def strongconnect(root):
+        work = [(root, iter(graph.get(root, ())))]
+        index_of[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, children = work[-1]
+            advanced = False
+            for child in children:
+                if child not in graph:
+                    continue
+                if child not in index_of:
+                    index_of[child] = lowlink[child] = counter[0]
+                    counter[0] += 1
+                    stack.append(child)
+                    on_stack.add(child)
+                    work.append((child, iter(graph.get(child, ()))))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[child])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index_of[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                if len(component) > 1:
+                    result.update(component)
+                elif node in graph.get(node, ()):
+                    result.add(node)
+
+    for name in graph:
+        if name not in index_of:
+            strongconnect(name)
+    return result
+
+
+def is_recursive(dtd: DTD) -> bool:
+    """True when the DTD contains at least one recursive element."""
+    return bool(recursive_elements(dtd))
+
+
+def enumerate_paths(dtd: DTD, max_depth: int = 10) -> List[Tuple[str, ...]]:
+    """All root-to-leaf element paths of length at most *max_depth*.
+
+    A path may end at any element that :meth:`can_be_leaf` — an element
+    whose content model admits zero element children in some instance.
+    For recursive DTDs the enumeration is truncated at *max_depth*
+    (paths that reach the bound without hitting a permissible leaf are
+    dropped), matching the paper's practice of limiting document nesting
+    depth for experimentation (§3.3, §5).
+
+    The result is deterministic (depth-first, children in declaration
+    order of the child map) and free of duplicates.
+    """
+    graph = dtd.child_map()
+    results: List[Tuple[str, ...]] = []
+    seen: Set[Tuple[str, ...]] = set()
+
+    def visit(name, trail):
+        trail = trail + (name,)
+        decl = dtd.elements[name]
+        children = graph.get(name, ())
+        if decl.can_be_leaf() or not children:
+            if trail not in seen:
+                seen.add(trail)
+                results.append(trail)
+        if len(trail) >= max_depth:
+            return
+        for child in children:
+            visit(child, trail)
+
+    visit(dtd.root, ())
+    return results
+
+
+def count_paths(dtd: DTD, max_depth: int = 10) -> int:
+    """Number of distinct bounded root-to-leaf paths (see
+    :func:`enumerate_paths`)."""
+    return len(enumerate_paths(dtd, max_depth))
+
+
+def element_positions(
+    paths: Iterable[Tuple[str, ...]]
+) -> Dict[int, Set[str]]:
+    """Which element names occur at which (1-based) path position.
+
+    Used to estimate the false-positive rate of imperfect mergers: the
+    paper's example (§4.3) reasons about "the elements allowed at the
+    fourth position".
+    """
+    positions: Dict[int, Set[str]] = {}
+    for path in paths:
+        for index, name in enumerate(path, start=1):
+            positions.setdefault(index, set()).add(name)
+    return positions

@@ -1,0 +1,265 @@
+"""Sample DTDs standing in for the paper's NITF and PSD DTDs.
+
+The paper evaluates with the News Industry Text Format DTD (recursive)
+and the Protein Sequence Database DTD (non-recursive).  Both are external
+artifacts; what the experiments rely on is their *structure*:
+
+* **NITF** — recursive (block-level elements nest inside themselves),
+  a rich vocabulary, and an advertisement set roughly **35×** larger
+  than PSD's (paper §5, "XPE Processing Time").
+* **PSD** — non-recursive, a shallow fixed hierarchy, a small
+  advertisement set.
+
+``NITF_DTD`` and ``PSD_DTD`` below are structurally analogous stand-ins
+that preserve those properties (recursion through ``block``/``bq``/
+``ol``/``li``, depth ≤ 10, and a ~35:1 advertisement-count ratio — the
+ratio is asserted by the test suite).
+"""
+
+from repro.dtd.parser import parse_dtd
+
+NITF_DTD_TEXT = """
+<!-- A structurally NITF-like news DTD: recursive block content. -->
+<!ELEMENT nitf (head, body)>
+
+<!ELEMENT head (title?, meta*, tobject?, docdata?, pubdata*)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT meta EMPTY>
+<!ELEMENT tobject (tobject-property*, tobject-subject*)>
+<!ELEMENT tobject-property EMPTY>
+<!ELEMENT tobject-subject EMPTY>
+<!ELEMENT docdata (doc-id?, urgency?, date-issue?, date-expire?, doc-scope*, series?, key-list?, identified-content?)>
+<!ELEMENT doc-id EMPTY>
+<!ELEMENT urgency EMPTY>
+<!ELEMENT date-issue EMPTY>
+<!ELEMENT date-expire EMPTY>
+<!ELEMENT doc-scope EMPTY>
+<!ELEMENT series EMPTY>
+<!ELEMENT key-list (keyword*)>
+<!ELEMENT keyword EMPTY>
+<!ELEMENT identified-content (person | org | location | event | function)*>
+<!ELEMENT person (#PCDATA)>
+<!ELEMENT org (#PCDATA)>
+<!ELEMENT location (#PCDATA)>
+<!ELEMENT event (#PCDATA)>
+<!ELEMENT function (#PCDATA)>
+<!ELEMENT pubdata EMPTY>
+
+<!ELEMENT body (body-head?, body-content*, body-end?)>
+<!ELEMENT body-head (hedline?, note*, byline*, dateline*, abstract?)>
+<!ELEMENT hedline (hl1, hl2*)>
+<!ELEMENT hl1 (#PCDATA)>
+<!ELEMENT hl2 (#PCDATA)>
+<!ELEMENT note (body-content*)>
+<!ELEMENT byline (person?, byttl?)>
+<!ELEMENT byttl (#PCDATA)>
+<!ELEMENT dateline (location?, story-date?)>
+<!ELEMENT story-date (#PCDATA)>
+<!ELEMENT abstract (p*)>
+
+<!ELEMENT body-content (block | p | table | media | ol | ul | bq | fn | pre | hr)*>
+<!ELEMENT block (block | p | hl2 | ol | ul | bq | pre)*>
+<!ELEMENT p (#PCDATA | em | lang | pronounce | q | a)*>
+<!ELEMENT em (#PCDATA)>
+<!ELEMENT lang (#PCDATA)>
+<!ELEMENT pronounce EMPTY>
+<!ELEMENT q (#PCDATA)>
+<!ELEMENT a (#PCDATA)>
+<!ELEMENT table (caption?, tr*)>
+<!ELEMENT caption (#PCDATA)>
+<!ELEMENT tr (th | td)*>
+<!ELEMENT th (#PCDATA)>
+<!ELEMENT td (#PCDATA)>
+<!ELEMENT media (media-reference*, media-caption*, media-producer?)>
+<!ELEMENT media-reference EMPTY>
+<!ELEMENT media-caption (p*)>
+<!ELEMENT media-producer (#PCDATA)>
+<!ELEMENT ol (li+)>
+<!ELEMENT ul (li+)>
+<!ELEMENT li (p | block | ol | ul)*>
+<!ELEMENT bq (block | p)*>
+<!ELEMENT fn (p*)>
+<!ELEMENT pre (#PCDATA)>
+<!ELEMENT hr EMPTY>
+
+<!ELEMENT body-end (tagline?, bibliography?)>
+<!ELEMENT tagline (#PCDATA)>
+<!ELEMENT bibliography (#PCDATA)>
+"""
+
+PSD_DTD_TEXT = """
+<!-- A structurally PSD-like protein database DTD: non-recursive. -->
+<!ELEMENT ProteinDatabase (ProteinEntry+)>
+<!ELEMENT ProteinEntry (header, protein, organism, reference+, genetics?, classification?, keywords?, feature*, annotation*, summary, sequence)>
+<!ELEMENT annotation (note-text*, evidence*)>
+<!ELEMENT note-text (#PCDATA)>
+<!ELEMENT evidence (#PCDATA)>
+
+<!ELEMENT header (uid, accession+, created-date, seq-rev-date, txt-rev-date)>
+<!ELEMENT uid (#PCDATA)>
+<!ELEMENT accession (#PCDATA)>
+<!ELEMENT created-date (#PCDATA)>
+<!ELEMENT seq-rev-date (#PCDATA)>
+<!ELEMENT txt-rev-date (#PCDATA)>
+
+<!ELEMENT protein (name, alt-name*, source?, function-text?, complex?, ec-number*)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT alt-name (#PCDATA)>
+<!ELEMENT source (#PCDATA)>
+<!ELEMENT function-text (#PCDATA)>
+<!ELEMENT complex (#PCDATA)>
+<!ELEMENT ec-number (#PCDATA)>
+
+<!ELEMENT organism (formal, common?, variety?, source-note?, taxonomy?)>
+<!ELEMENT formal (#PCDATA)>
+<!ELEMENT common (#PCDATA)>
+<!ELEMENT variety (#PCDATA)>
+<!ELEMENT source-note (#PCDATA)>
+<!ELEMENT taxonomy (#PCDATA)>
+
+<!ELEMENT reference (refinfo, accinfo*)>
+<!ELEMENT refinfo (authors, citation, volume?, year, pages?, month?, title?, xrefs?)>
+<!ELEMENT authors (author+)>
+<!ELEMENT author (#PCDATA)>
+<!ELEMENT citation (#PCDATA)>
+<!ELEMENT volume (#PCDATA)>
+<!ELEMENT year (#PCDATA)>
+<!ELEMENT pages (#PCDATA)>
+<!ELEMENT month (#PCDATA)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT xrefs (xref+)>
+<!ELEMENT xref (db, dbuid)>
+<!ELEMENT db (#PCDATA)>
+<!ELEMENT dbuid (#PCDATA)>
+<!ELEMENT accinfo (mol-type?, seq-spec?)>
+<!ELEMENT mol-type (#PCDATA)>
+<!ELEMENT seq-spec (#PCDATA)>
+
+<!ELEMENT genetics (gene?, mapposition?, introns?, codon-usage?, gene-map?)>
+<!ELEMENT gene (#PCDATA)>
+<!ELEMENT mapposition (#PCDATA)>
+<!ELEMENT introns (#PCDATA)>
+<!ELEMENT codon-usage (#PCDATA)>
+<!ELEMENT gene-map (#PCDATA)>
+
+<!ELEMENT classification (superfamily?, family?, subfamily?)>
+<!ELEMENT superfamily (#PCDATA)>
+<!ELEMENT family (#PCDATA)>
+<!ELEMENT subfamily (#PCDATA)>
+
+<!ELEMENT keywords (keyword+)>
+<!ELEMENT keyword (#PCDATA)>
+
+<!ELEMENT feature (feature-type, description?, seq-spec2?, label?, status?)>
+<!ELEMENT feature-type (#PCDATA)>
+<!ELEMENT description (#PCDATA)>
+<!ELEMENT seq-spec2 (#PCDATA)>
+<!ELEMENT label (#PCDATA)>
+<!ELEMENT status (#PCDATA)>
+
+<!ELEMENT summary (length, weight?, isoelectric-point?, checksum?)>
+<!ELEMENT length (#PCDATA)>
+<!ELEMENT weight (#PCDATA)>
+<!ELEMENT isoelectric-point (#PCDATA)>
+<!ELEMENT checksum (#PCDATA)>
+
+<!ELEMENT sequence (#PCDATA)>
+"""
+
+
+def nitf_dtd():
+    """The NITF-like sample DTD (recursive), freshly parsed."""
+    return parse_dtd(NITF_DTD_TEXT)
+
+
+def psd_dtd():
+    """The PSD-like sample DTD (non-recursive), freshly parsed."""
+    return parse_dtd(PSD_DTD_TEXT)
+
+XMARK_DTD_TEXT = """
+<!-- A structurally XMark-like auction-site DTD: recursive through
+     description paragraph lists (parlist/listitem). -->
+<!ELEMENT site (regions, categories, people, open-auctions, closed-auctions)>
+
+<!ELEMENT regions (africa?, asia?, europe?, namerica?, samerica?, oceania?)>
+<!ELEMENT africa (item*)>
+<!ELEMENT asia (item*)>
+<!ELEMENT europe (item*)>
+<!ELEMENT namerica (item*)>
+<!ELEMENT samerica (item*)>
+<!ELEMENT oceania (item*)>
+<!ELEMENT item (location, quantity, name, payment?, description, shipping?, mailbox?)>
+<!ELEMENT location (#PCDATA)>
+<!ELEMENT quantity (#PCDATA)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT payment (#PCDATA)>
+<!ELEMENT shipping (#PCDATA)>
+<!ELEMENT mailbox (mail*)>
+<!ELEMENT mail (from, to, date, text)>
+<!ELEMENT from (#PCDATA)>
+<!ELEMENT to (#PCDATA)>
+<!ELEMENT date (#PCDATA)>
+
+<!ELEMENT description (text | parlist)>
+<!ELEMENT parlist (listitem+)>
+<!ELEMENT listitem (text | parlist)>
+<!ELEMENT text (#PCDATA | bold | keyword | emph)*>
+<!ELEMENT bold (#PCDATA)>
+<!ELEMENT keyword (#PCDATA)>
+<!ELEMENT emph (#PCDATA)>
+
+<!ELEMENT categories (category+)>
+<!ELEMENT category (name2, description?)>
+<!ELEMENT name2 (#PCDATA)>
+
+<!ELEMENT people (person*)>
+<!ELEMENT person (personname, emailaddress?, phone?, address?, creditcard?, profile?)>
+<!ELEMENT personname (#PCDATA)>
+<!ELEMENT emailaddress (#PCDATA)>
+<!ELEMENT phone (#PCDATA)>
+<!ELEMENT address (street, city, country, zipcode?)>
+<!ELEMENT street (#PCDATA)>
+<!ELEMENT city (#PCDATA)>
+<!ELEMENT country (#PCDATA)>
+<!ELEMENT zipcode (#PCDATA)>
+<!ELEMENT creditcard (#PCDATA)>
+<!ELEMENT profile (interest*, education?, gender?, business?, age?)>
+<!ELEMENT interest (#PCDATA)>
+<!ELEMENT education (#PCDATA)>
+<!ELEMENT gender (#PCDATA)>
+<!ELEMENT business (#PCDATA)>
+<!ELEMENT age (#PCDATA)>
+
+<!ELEMENT open-auctions (open-auction*)>
+<!ELEMENT open-auction (initial, reserve?, bidder*, current, itemref, seller, annotation?, type)>
+<!ELEMENT initial (#PCDATA)>
+<!ELEMENT reserve (#PCDATA)>
+<!ELEMENT bidder (date2, time, personref, increase)>
+<!ELEMENT date2 (#PCDATA)>
+<!ELEMENT time (#PCDATA)>
+<!ELEMENT personref (#PCDATA)>
+<!ELEMENT increase (#PCDATA)>
+<!ELEMENT current (#PCDATA)>
+<!ELEMENT itemref (#PCDATA)>
+<!ELEMENT seller (#PCDATA)>
+<!ELEMENT annotation (author?, description?, happiness?)>
+<!ELEMENT author (#PCDATA)>
+<!ELEMENT happiness (#PCDATA)>
+<!ELEMENT type (#PCDATA)>
+
+<!ELEMENT closed-auctions (closed-auction*)>
+<!ELEMENT closed-auction (seller2, buyer, itemref2, price, date3, quantity2, type2, annotation?)>
+<!ELEMENT seller2 (#PCDATA)>
+<!ELEMENT buyer (#PCDATA)>
+<!ELEMENT itemref2 (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+<!ELEMENT date3 (#PCDATA)>
+<!ELEMENT quantity2 (#PCDATA)>
+<!ELEMENT type2 (#PCDATA)>
+"""
+
+
+def xmark_dtd():
+    """The XMark-like sample DTD (auction site; recursive through
+    parlist/listitem), freshly parsed."""
+    return parse_dtd(XMARK_DTD_TEXT)

@@ -1,0 +1,50 @@
+"""Experiment runners — one per table/figure of the paper's §5.
+
+Run everything (scaled down) with::
+
+    python -m repro.experiments
+
+or individually::
+
+    from repro.experiments import run_fig6
+    print(run_fig6(scale=0.05).format())
+"""
+
+from repro.experiments.ablation_interest import run_interest_ablation
+from repro.experiments.scalability import run_scalability_sweep
+from repro.experiments.table_profile import run_table_profile
+from repro.experiments.common import ExperimentResult, scaled
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.fig8 import run_fig8
+from repro.experiments.fig9 import run_fig9
+from repro.experiments.fig10_11 import (
+    run_delay_experiment,
+    run_fig10,
+    run_fig11,
+)
+from repro.experiments.table1 import run_table1
+from repro.experiments.tables23 import (
+    run_table2,
+    run_table3,
+    run_traffic_experiment,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "scaled",
+    "run_interest_ablation",
+    "run_scalability_sweep",
+    "run_table_profile",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9",
+    "run_delay_experiment",
+    "run_fig10",
+    "run_fig11",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_traffic_experiment",
+]

@@ -1,0 +1,99 @@
+"""Run every reproduced table and figure at a reduced scale.
+
+Usage::
+
+    python -m repro.experiments [--scale FRACTION]
+
+The per-experiment default scales keep the full sweep at a few minutes
+on a laptop; ``--scale`` multiplies them.
+"""
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    run_interest_ablation,
+    run_scalability_sweep,
+    run_table_profile,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+    run_fig11,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Reproduce the paper's tables and figures."
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="multiply each experiment's default workload scale",
+    )
+    parser.add_argument(
+        "--only",
+        nargs="*",
+        default=None,
+        help="subset to run, e.g. --only fig6 table2",
+    )
+    parser.add_argument(
+        "--chart",
+        action="store_true",
+        help="also render figure experiments as ASCII charts",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        default=None,
+        help="write a markdown report instead of printing tables",
+    )
+    args = parser.parse_args(argv)
+
+    experiments = {
+        "fig6": lambda: run_fig6(scale=0.05 * args.scale),
+        "fig7": lambda: run_fig7(scale=0.03 * args.scale),
+        "fig8": lambda: run_fig8(scale=0.1 * args.scale),
+        "table1": lambda: run_table1(scale=0.02 * args.scale),
+        "table2": lambda: run_table2(scale=args.scale),
+        "table3": lambda: run_table3(scale=args.scale),
+        "fig9": lambda: run_fig9(scale=0.5 * args.scale),
+        "fig10": lambda: run_fig10(scale=0.5 * args.scale),
+        "fig11": lambda: run_fig11(scale=0.5 * args.scale),
+        "interest": lambda: run_interest_ablation(),
+        "scalability": lambda: run_scalability_sweep(),
+        "tableprofile": lambda: run_table_profile(),
+    }
+    selected = args.only if args.only else list(experiments)
+    unknown = [name for name in selected if name not in experiments]
+    if unknown:
+        parser.error("unknown experiment(s): %s" % ", ".join(unknown))
+
+    if args.output:
+        from repro.experiments.report import write_report
+
+        write_report(experiments, args.output, only=selected)
+        print("report written to %s" % args.output)
+        return 0
+
+    for name in selected:
+        start = time.time()
+        result = experiments[name]()
+        print(result.format())
+        if args.chart and name.startswith("fig"):
+            print()
+            print(result.chart())
+        print("[%s completed in %.1fs]" % (name, time.time() - start))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

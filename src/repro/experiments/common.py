@@ -1,0 +1,91 @@
+"""Shared infrastructure for the experiment runners.
+
+Every runner reproduces one table or figure of the paper's §5 and
+returns a small result object with a ``rows()`` method (list of dicts)
+and a ``format()`` method (aligned text, the same rows/series the paper
+reports).  Runners take a ``scale`` knob: 1.0 approximates the paper's
+workload sizes, smaller values shrink them proportionally (the paper's
+100k-XPE runs are impractical per benchmark iteration in Python; see
+EXPERIMENTS.md for the sizes used in the recorded results).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+
+@dataclass
+class ExperimentResult:
+    """Rows of one reproduced table/figure."""
+
+    name: str
+    columns: Sequence[str]
+    data: List[Dict[str, object]] = field(default_factory=list)
+    notes: str = ""
+
+    def add_row(self, **values):
+        self.data.append(values)
+
+    def rows(self) -> List[Dict[str, object]]:
+        return list(self.data)
+
+    def column(self, key: str) -> List[object]:
+        return [row.get(key) for row in self.data]
+
+    def chart(self, x_column=None, y_columns=None, **kwargs) -> str:
+        """ASCII line chart of the result (see
+        :func:`repro.experiments.plotting.ascii_chart`)."""
+        from repro.experiments.plotting import ascii_chart
+
+        if x_column is None:
+            x_column = self.columns[0]
+        return ascii_chart(self, x_column, y_columns, **kwargs)
+
+    def format(self) -> str:
+        """Render as an aligned text table."""
+        headers = list(self.columns)
+        rendered = [
+            [_fmt(row.get(column)) for column in headers]
+            for row in self.data
+        ]
+        widths = [
+            max(len(headers[i]), *(len(r[i]) for r in rendered))
+            if rendered
+            else len(headers[i])
+            for i in range(len(headers))
+        ]
+        lines = [self.name]
+        lines.append(
+            "  ".join(headers[i].ljust(widths[i]) for i in range(len(headers)))
+        )
+        lines.append("  ".join("-" * w for w in widths))
+        for r in rendered:
+            lines.append(
+                "  ".join(r[i].ljust(widths[i]) for i in range(len(headers)))
+            )
+        if self.notes:
+            lines.append("")
+            lines.append(self.notes)
+        return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return "%.3f" % value
+    return str(value)
+
+
+def timed(fn: Callable[[], object]) -> float:
+    """Wall-clock seconds of one call."""
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def scaled(value: int, scale: float, minimum: int = 1) -> int:
+    """Scale a paper workload size down (or up), keeping a floor."""
+    return max(minimum, int(round(value * scale)))

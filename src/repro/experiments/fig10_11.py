@@ -1,0 +1,174 @@
+"""Figures 10 and 11 — notification delay vs. broker hops (PlanetLab).
+
+The paper deploys a broker chain with a maximum end-to-end distance of
+seven hops on PlanetLab and measures the notification delay for
+different document sizes, with and without covering.  Findings to
+reproduce: delay grows linearly with hop count; covering flattens the
+slope (smaller routing tables → cheaper per-hop matching); larger
+documents are slower per hop but gain *more* from covering.
+
+Here the brokers run the real matching code (its wall-clock cost is
+charged to the virtual clock) and the links use the
+:class:`~repro.network.latency.PlanetLabLatency` wide-area model —
+the same two delay components as the testbed measurement.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.broker.strategies import RoutingConfig
+from repro.dtd.model import DTD
+from repro.dtd.samples import nitf_dtd, psd_dtd
+from repro.experiments.common import ExperimentResult, scaled
+from repro.merging.engine import PathUniverse
+from repro.network.latency import PlanetLabLatency
+from repro.network.overlay import Overlay
+from repro.workloads.xpath_generator import (
+    XPathWorkloadParams,
+    generate_queries,
+)
+from repro.workloads.document_generator import generate_documents
+
+
+def run_delay_experiment(
+    dtd: DTD,
+    doc_sizes: Sequence[int],
+    name: str,
+    chain_length: int = 8,
+    xpes_per_subscriber: int = 100,
+    documents_per_size: int = 3,
+    seed: int = 13,
+) -> ExperimentResult:
+    """Delay vs. hops for one DTD across document sizes and covering
+    on/off — one result row per hop count, one column per (size, mode).
+    """
+    columns = ["hops"]
+    for size in doc_sizes:
+        columns.append("%dK_cov_ms" % (size // 1024))
+        columns.append("%dK_nocov_ms" % (size // 1024))
+    result = ExperimentResult(
+        name=name,
+        columns=tuple(columns),
+        notes=(
+            "PlanetLab-style link latencies + measured matching cost; "
+            "%d XPEs per subscriber, %d docs per size."
+            % (xpes_per_subscriber, documents_per_size)
+        ),
+    )
+
+    series: Dict[str, Dict[int, float]] = {}
+    for size in doc_sizes:
+        for covering in (True, False):
+            key = "%dK_%s_ms" % (size // 1024, "cov" if covering else "nocov")
+            series[key] = _measure_chain(
+                dtd,
+                size,
+                covering,
+                chain_length,
+                xpes_per_subscriber,
+                documents_per_size,
+                seed,
+            )
+
+    hop_counts = sorted(
+        {hop for data in series.values() for hop in data}
+    )
+    for hops in hop_counts:
+        row = {"hops": hops}
+        for key, data in series.items():
+            row[key] = data.get(hops)
+        result.add_row(**row)
+    return result
+
+
+def _measure_chain(
+    dtd: DTD,
+    doc_size: int,
+    covering: bool,
+    chain_length: int,
+    xpes_per_subscriber: int,
+    documents: int,
+    seed: int,
+) -> Dict[int, float]:
+    """Mean delivery delay (ms) per broker hop count on a chain."""
+    config = (
+        RoutingConfig.with_adv_with_cov()
+        if covering
+        else RoutingConfig.with_adv_no_cov()
+    )
+    overlay = Overlay(
+        config=config,
+        latency_model=PlanetLabLatency(seed=seed),
+        universe=PathUniverse.from_dtd(dtd, max_depth=8),
+        processing_scale=1.0,
+    )
+    names = ["b%d" % i for i in range(1, chain_length + 1)]
+    for broker_id in names:
+        overlay.add_broker(broker_id)
+    for left, right in zip(names, names[1:]):
+        overlay.connect(left, right)
+
+    publisher = overlay.attach_publisher("pub", names[0])
+    subscribers = []
+    for index, broker_id in enumerate(names[1:], start=1):
+        sub = overlay.attach_subscriber("sub%d" % index, broker_id)
+        subscribers.append((sub, index))
+
+    publisher.advertise_dtd(dtd)
+    overlay.run()
+
+    params = XPathWorkloadParams(
+        wildcard_prob=0.2,
+        descendant_prob=0.15,
+        relative_prob=0.2,
+        min_length=2,
+    )
+    exprs = generate_queries(
+        dtd, xpes_per_subscriber * len(subscribers), params=params, seed=seed
+    )
+    for sub, index in subscribers:
+        chunk = exprs[
+            (index - 1) * xpes_per_subscriber: index * xpes_per_subscriber
+        ]
+        for expr in chunk:
+            sub.subscribe(expr)
+    overlay.run()
+
+    docs = generate_documents(
+        dtd,
+        documents,
+        seed=seed,
+        target_bytes=doc_size,
+        doc_prefix="doc%d" % doc_size,
+    )
+    for doc in docs:
+        publisher.publish_document(doc)
+    overlay.run()
+
+    return {
+        hops: 1e3 * sum(delays) / len(delays)
+        for hops, delays in overlay.stats.delays_by_hops().items()
+    }
+
+
+def run_fig10(scale: float = 1.0, **kwargs) -> ExperimentResult:
+    """Figure 10: PSD documents of 2K/10K/20K."""
+    return run_delay_experiment(
+        psd_dtd(),
+        doc_sizes=(2048, 10240, 20480),
+        name="Figure 10 — Notification delay, PSD XML",
+        xpes_per_subscriber=scaled(100, scale),
+        **kwargs,
+    )
+
+
+def run_fig11(scale: float = 1.0, **kwargs) -> ExperimentResult:
+    """Figure 11: NITF documents of 2K/20K/40K."""
+    return run_delay_experiment(
+        nitf_dtd(),
+        doc_sizes=(2048, 20480, 40960),
+        name="Figure 11 — Notification delay, NITF XML",
+        xpes_per_subscriber=scaled(100, scale),
+        **kwargs,
+    )

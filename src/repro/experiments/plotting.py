@@ -1,0 +1,113 @@
+"""Terminal plotting for experiment results.
+
+The paper's figures are line charts; :func:`ascii_chart` renders an
+:class:`~repro.experiments.common.ExperimentResult`'s series as a
+fixed-grid ASCII plot so ``python -m repro.experiments --chart``
+regenerates recognisable figures with no plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+MARKERS = "ox+*#@%&"
+
+
+def ascii_chart(
+    result,
+    x_column: str,
+    y_columns: Optional[Sequence[str]] = None,
+    width: int = 64,
+    height: int = 18,
+) -> str:
+    """Render selected columns of *result* as an ASCII line chart.
+
+    Args:
+        result: an ExperimentResult.
+        x_column: column used for the x axis (numeric).
+        y_columns: series to plot (default: every other numeric column).
+        width/height: plot area in characters.
+    """
+    rows = result.rows()
+    if not rows:
+        return "%s\n(no data)" % result.name
+    if y_columns is None:
+        y_columns = [
+            column
+            for column in result.columns
+            if column != x_column
+            and any(isinstance(row.get(column), (int, float)) for row in rows)
+        ]
+
+    xs = [float(row[x_column]) for row in rows]
+    series = {}
+    for column in y_columns:
+        points = [
+            (x, float(row[column]))
+            for x, row in zip(xs, rows)
+            if isinstance(row.get(column), (int, float))
+        ]
+        if points:
+            series[column] = points
+    if not series:
+        return "%s\n(no numeric series)" % result.name
+
+    x_min, x_max = min(xs), max(xs)
+    all_ys = [y for points in series.values() for _x, y in points]
+    y_min, y_max = min(all_ys), max(all_ys)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+    if y_max == y_min:
+        y_max = y_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def plot(x, y, marker):
+        column = round((x - x_min) / (x_max - x_min) * (width - 1))
+        row = round((y - y_min) / (y_max - y_min) * (height - 1))
+        grid[height - 1 - row][column] = marker
+
+    legend = []
+    for index, (name, points) in enumerate(series.items()):
+        marker = MARKERS[index % len(MARKERS)]
+        legend.append("%s %s" % (marker, name))
+        # Line interpolation between consecutive points keeps the shape
+        # readable at coarse resolutions.
+        for (x1, y1), (x2, y2) in zip(points, points[1:]):
+            steps = max(
+                2,
+                int(abs(x2 - x1) / (x_max - x_min) * width) + 1,
+            )
+            for step in range(steps + 1):
+                t = step / steps
+                plot(x1 + (x2 - x1) * t, y1 + (y2 - y1) * t, marker)
+        for x, y in points:
+            plot(x, y, marker)
+
+    y_label_width = max(len(_fmt(y_min)), len(_fmt(y_max)))
+    lines = [result.name]
+    for index, row in enumerate(grid):
+        if index == 0:
+            label = _fmt(y_max).rjust(y_label_width)
+        elif index == height - 1:
+            label = _fmt(y_min).rjust(y_label_width)
+        else:
+            label = " " * y_label_width
+        lines.append("%s |%s" % (label, "".join(row)))
+    lines.append(
+        "%s +%s" % (" " * y_label_width, "-" * width)
+    )
+    x_left, x_right = _fmt(x_min), _fmt(x_max)
+    padding = width - len(x_left) - len(x_right)
+    lines.append(
+        "%s  %s%s%s"
+        % (" " * y_label_width, x_left, " " * max(1, padding), x_right)
+    )
+    lines.append("  " + "   ".join(legend))
+    return "\n".join(lines)
+
+
+def _fmt(value: float) -> str:
+    if abs(value) >= 1000 or value == int(value):
+        return "%d" % round(value)
+    return "%.2f" % value

@@ -1,0 +1,71 @@
+"""Markdown report generation for experiment runs.
+
+``write_report`` runs a set of experiments and writes one self-contained
+markdown document with each result as a table (figures also as ASCII
+charts), timestamps-free so reruns diff cleanly.  This is the artifact
+behind ``python -m repro.experiments --output report.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.experiments.common import ExperimentResult
+
+
+def result_to_markdown(result: ExperimentResult, chart: bool = False) -> str:
+    """One experiment as a markdown section."""
+    lines = ["## %s" % result.name, ""]
+    headers = list(result.columns)
+    lines.append("| " + " | ".join(headers) + " |")
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in result.rows():
+        lines.append(
+            "| "
+            + " | ".join(_fmt(row.get(column)) for column in headers)
+            + " |"
+        )
+    if result.notes:
+        lines.append("")
+        lines.append("*%s*" % result.notes)
+    if chart:
+        lines.append("")
+        lines.append("```")
+        lines.append(result.chart())
+        lines.append("```")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def write_report(
+    runners: Dict[str, Callable[[], ExperimentResult]],
+    path: str,
+    title: str = "Reproduced tables and figures",
+    chart_prefixes: Sequence[str] = ("fig",),
+    only: Optional[Sequence[str]] = None,
+) -> List[str]:
+    """Run *runners* (name -> callable) and write the report to *path*.
+
+    Returns the names run, in order.
+    """
+    selected = list(only) if only else list(runners)
+    unknown = [name for name in selected if name not in runners]
+    if unknown:
+        raise KeyError("unknown experiments: %s" % ", ".join(unknown))
+
+    sections = ["# %s" % title, ""]
+    for name in selected:
+        result = runners[name]()
+        chart = any(name.startswith(prefix) for prefix in chart_prefixes)
+        sections.append(result_to_markdown(result, chart=chart))
+    with open(path, "w") as handle:
+        handle.write("\n".join(sections))
+    return selected
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "—"
+    if isinstance(value, float):
+        return "%.3f" % value
+    return str(value)

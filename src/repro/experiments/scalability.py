@@ -1,0 +1,89 @@
+"""Scalability sweep — benefit vs. overlay size.
+
+The paper closes its traffic evaluation with: "Overall, we achieve more
+benefit in a larger broker network.  The scalability of the system is
+improved."  This runner quantifies that claim: the same per-subscriber
+workload runs on growing binary-tree overlays, and for each size we
+record the flooding baseline's traffic, the fully optimised strategy's
+traffic, and their ratio — the *benefit factor* that the claim predicts
+grows with the network.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.broker.strategies import RoutingConfig
+from repro.dtd.samples import psd_dtd
+from repro.experiments.common import ExperimentResult
+from repro.merging.engine import PathUniverse
+from repro.network.latency import ConstantLatency
+from repro.network.overlay import Overlay
+from repro.workloads.datasets import psd_queries
+from repro.workloads.document_generator import generate_documents
+
+
+def run_scalability_sweep(
+    levels: Sequence[int] = (2, 3, 4, 5),
+    xpes_per_subscriber: int = 60,
+    documents: int = 6,
+    baseline: str = "no-Adv-no-Cov",
+    optimised: str = "with-Adv-with-Cov",
+    seed: int = 31,
+) -> ExperimentResult:
+    """Traffic of *baseline* vs. *optimised* across overlay sizes."""
+    dtd = psd_dtd()
+    universe = PathUniverse.from_dtd(dtd, max_depth=10)
+    docs = generate_documents(dtd, documents, seed=seed, target_bytes=1024)
+
+    result = ExperimentResult(
+        name="Scalability — optimisation benefit vs. overlay size",
+        columns=(
+            "brokers",
+            "subscribers",
+            "traffic_baseline",
+            "traffic_optimised",
+            "benefit_factor",
+        ),
+        notes=(
+            "%s vs. %s; %d PSD XPEs per leaf subscriber, %d documents. "
+            "The paper's closing §5 claim: the benefit grows with the "
+            "network." % (baseline, optimised, xpes_per_subscriber, documents)
+        ),
+    )
+
+    for level in levels:
+        traffic = {}
+        for strategy in (baseline, optimised):
+            overlay = Overlay.binary_tree(
+                level,
+                config=RoutingConfig.by_name(strategy),
+                latency_model=ConstantLatency(0.001),
+                universe=universe,
+                processing_scale=0.0,
+            )
+            publisher = overlay.attach_publisher("pub", "b1")
+            if overlay.config.advertisements:
+                publisher.advertise_dtd(dtd)
+                overlay.run()
+            leaves = overlay.leaf_brokers()
+            for index, leaf in enumerate(leaves):
+                subscriber = overlay.attach_subscriber("sub%d" % index, leaf)
+                for expr in psd_queries(
+                    xpes_per_subscriber, seed=seed * 100 + index
+                ).exprs:
+                    subscriber.subscribe(expr)
+            overlay.run()
+            for doc in docs:
+                publisher.publish_document(doc)
+            overlay.run()
+            traffic[strategy] = overlay.stats.network_traffic
+
+        result.add_row(
+            brokers=2 ** level - 1,
+            subscribers=len(leaves),
+            traffic_baseline=traffic[baseline],
+            traffic_optimised=traffic[optimised],
+            benefit_factor=traffic[baseline] / traffic[optimised],
+        )
+    return result

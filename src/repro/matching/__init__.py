@@ -1,0 +1,15 @@
+"""Publication-vs-XPE matching engines."""
+
+from repro.covering.pathmatch import matches_document_paths, matches_path
+from repro.matching.engine import LinearMatcher, TreeMatcher
+from repro.matching.predicate_index import PredicateIndexMatcher
+from repro.matching.yfilter import YFilterMatcher
+
+__all__ = [
+    "matches_document_paths",
+    "matches_path",
+    "LinearMatcher",
+    "PredicateIndexMatcher",
+    "TreeMatcher",
+    "YFilterMatcher",
+]

@@ -1,0 +1,90 @@
+"""Publication-matching engines.
+
+Table 1 of the paper compares publication routing time under four
+configurations: no covering (a flat routing table, every XPE checked),
+covering (the subscription tree prunes covered subtrees), and
+covering+merging (a smaller tree still).  The two engines here implement
+the flat baseline and the tree-based matcher behind one interface.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set
+
+from repro.covering.pathmatch import matches_path
+from repro.covering.subscription_tree import SubscriptionTree
+from repro.xpath.ast import XPathExpr
+
+
+class LinearMatcher:
+    """The non-covering baseline: a flat list scanned per publication."""
+
+    def __init__(self):
+        self._subs: Dict[XPathExpr, Set[object]] = {}
+
+    def add(self, expr: XPathExpr, key: object = None):
+        self._subs.setdefault(expr, set()).add(key)
+
+    def remove(self, expr: XPathExpr, key: object = None):
+        keys = self._subs.get(expr)
+        if keys is None:
+            return
+        keys.discard(key)
+        if not keys:
+            del self._subs[expr]
+
+    def match(self, path: Sequence[str], attributes=None) -> Set[object]:
+        matched: Set[object] = set()
+        for expr, keys in self._subs.items():
+            if matches_path(expr, path, attributes):
+                matched |= keys
+        return matched
+
+    def matching_exprs(
+        self, path: Sequence[str], attributes=None
+    ) -> List[XPathExpr]:
+        return [
+            expr
+            for expr in self._subs
+            if matches_path(expr, path, attributes)
+        ]
+
+    def keys_of(self, expr: XPathExpr) -> Set[object]:
+        return set(self._subs.get(expr, ()))
+
+    def exprs(self):
+        return list(self._subs)
+
+    def __len__(self):
+        return len(self._subs)
+
+
+class TreeMatcher:
+    """Covering-based matcher: a subscription tree with subtree pruning."""
+
+    def __init__(self, tree: SubscriptionTree = None):
+        self._tree = tree if tree is not None else SubscriptionTree()
+
+    @property
+    def tree(self) -> SubscriptionTree:
+        return self._tree
+
+    def add(self, expr: XPathExpr, key: object = None):
+        self._tree.insert(expr, key)
+
+    def remove(self, expr: XPathExpr, key: object = None):
+        self._tree.remove(expr, key)
+
+    def match(self, path: Sequence[str], attributes=None) -> Set[object]:
+        return self._tree.match_keys(path, attributes)
+
+    def matching_exprs(
+        self, path: Sequence[str], attributes=None
+    ) -> List[XPathExpr]:
+        return [node.expr for node in self._tree.match(path, attributes)]
+
+    def exprs(self):
+        return self._tree.exprs()
+
+    def __len__(self):
+        return len(self._tree)

@@ -1,0 +1,188 @@
+"""A YFilter-style shared-NFA matcher (baseline).
+
+The paper's evaluation (§5, "Publication Routing Time") references a
+comparison of its covering-tree router against **YFilter** [Diao et
+al., TODS 2003]: YFilter compiles all XPEs into one NFA whose common
+prefixes are shared, then matches each incoming document against the
+combined automaton.  This module implements that baseline for the
+path-publication model used here, with the same interface as
+:class:`~repro.matching.engine.LinearMatcher` and
+:class:`~repro.matching.engine.TreeMatcher` so the three engines are
+interchangeable in brokers and benchmarks.
+
+Construction: one trie-like NFA over location steps.  A ``/t`` step is
+an edge labelled ``t``; ``/*`` an edge labelled ``*`` (matches any
+element); ``//`` introduces a state with a self-loop on any element
+before the next step's edge.  A relative XPE starts behind a ``//``
+state, and acceptance may fire at any path position (an XPE selects a
+node *on* the path, not necessarily the leaf).
+
+Matching runs the active-state-set simulation once per publication
+path; its cost is bounded by the automaton size, not the number of
+XPEs — prefix sharing is exactly what makes YFilter fast on large
+overlapping workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.covering.pathmatch import matches_path
+from repro.xpath.ast import Axis, WILDCARD, XPathExpr
+
+
+class _State:
+    """One NFA state.
+
+    ``edges`` maps an element name (or ``*``) to the next state;
+    ``descendant`` points to the //-state child (which self-loops);
+    ``accepting`` holds the keys of XPEs that end here.
+    """
+
+    __slots__ = ("edges", "descendant", "accepting", "self_loop")
+
+    def __init__(self, self_loop: bool = False):
+        self.edges: Dict[str, "_State"] = {}
+        self.descendant: Optional["_State"] = None
+        self.accepting: Set[XPathExpr] = set()
+        self.self_loop = self_loop
+
+
+class YFilterMatcher:
+    """Shared-prefix NFA over a set of XPEs."""
+
+    def __init__(self):
+        self._root = _State()
+        self._exprs: Dict[XPathExpr, Set[object]] = {}
+        self._accepting_nodes: Dict[XPathExpr, _State] = {}
+
+    # -- maintenance -----------------------------------------------------
+
+    def add(self, expr: XPathExpr, key: object = None):
+        keys = self._exprs.get(expr)
+        if keys is not None:
+            keys.add(key)
+            return
+        self._exprs[expr] = {key}
+        state = self._root
+        if expr.is_relative:
+            state = self._descendant_of(state)
+        for index, step in enumerate(expr.steps):
+            if step.axis is Axis.DESCENDANT and not (
+                index == 0 and expr.is_relative
+            ):
+                state = self._descendant_of(state)
+            state = self._edge_of(state, step.test)
+        state.accepting.add(expr)
+        self._accepting_nodes[expr] = state
+
+    def remove(self, expr: XPathExpr, key: object = None):
+        keys = self._exprs.get(expr)
+        if keys is None:
+            return
+        keys.discard(key)
+        if keys:
+            return
+        del self._exprs[expr]
+        node = self._accepting_nodes.pop(expr)
+        node.accepting.discard(expr)
+        # States are left in place (classic YFilter prunes lazily); they
+        # are shared with other expressions and harmless when inert.
+
+    def _descendant_of(self, state: _State) -> _State:
+        if state.descendant is None:
+            state.descendant = _State(self_loop=True)
+        return state.descendant
+
+    def _edge_of(self, state: _State, test: str) -> _State:
+        nxt = state.edges.get(test)
+        if nxt is None:
+            nxt = _State()
+            state.edges[test] = nxt
+        return nxt
+
+    # -- matching ----------------------------------------------------------
+
+    def match_exprs(
+        self, path: Sequence[str], attributes=None
+    ) -> Set[XPathExpr]:
+        """All stored XPEs matching the publication *path*.
+
+        The shared automaton tracks element structure; expressions with
+        attribute predicates are verified with a final predicate-aware
+        recheck (YFilter's value-based predicates are likewise evaluated
+        outside the structural NFA).
+        """
+        matched: Set[XPathExpr] = set()
+        active = {id(self._root): self._root}
+        _absorb_descendants(active)
+        for symbol in path:
+            nxt: Dict[int, _State] = {}
+            for state in active.values():
+                target = state.edges.get(symbol)
+                if target is not None:
+                    nxt[id(target)] = target
+                star = state.edges.get(WILDCARD)
+                if star is not None:
+                    nxt[id(star)] = star
+                if state.self_loop:
+                    nxt[id(state)] = state
+            _absorb_descendants(nxt)
+            for state in nxt.values():
+                matched |= state.accepting
+            active = nxt
+            if not active:
+                break
+        verified = set()
+        for expr in matched:
+            if not expr.has_predicates or matches_path(
+                expr, path, attributes
+            ):
+                verified.add(expr)
+        return verified
+
+    def match(self, path: Sequence[str], attributes=None) -> Set[object]:
+        """Union of subscriber keys of the matching XPEs (engine API)."""
+        keys: Set[object] = set()
+        for expr in self.match_exprs(path, attributes):
+            keys |= self._exprs[expr]
+        return keys
+
+    def matching_exprs(
+        self, path: Sequence[str], attributes=None
+    ) -> List[XPathExpr]:
+        return list(self.match_exprs(path, attributes))
+
+    def keys_of(self, expr: XPathExpr) -> Set[object]:
+        return set(self._exprs.get(expr, ()))
+
+    def exprs(self):
+        return list(self._exprs)
+
+    def __len__(self):
+        return len(self._exprs)
+
+    def state_count(self) -> int:
+        """Size of the shared automaton (for ablation reporting)."""
+        seen = set()
+        stack = [self._root]
+        while stack:
+            state = stack.pop()
+            if id(state) in seen:
+                continue
+            seen.add(id(state))
+            stack.extend(state.edges.values())
+            if state.descendant is not None:
+                stack.append(state.descendant)
+        return len(seen)
+
+
+def _absorb_descendants(active: Dict[int, "_State"]):
+    """ε-closure: every active state's //-child becomes active too."""
+    stack = list(active.values())
+    while stack:
+        state = stack.pop()
+        child = state.descendant
+        if child is not None and id(child) not in active:
+            active[id(child)] = child
+            stack.append(child)

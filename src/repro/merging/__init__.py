@@ -1,0 +1,25 @@
+"""XPE merging: rules, imperfection degrees, tree sweeps (paper §4.3)."""
+
+from repro.merging.rules import (
+    merge_general,
+    merge_one_difference,
+    merge_pair,
+    merge_two_differences,
+)
+from repro.merging.engine import (
+    MergeEvent,
+    MergeReport,
+    MergingEngine,
+    PathUniverse,
+)
+
+__all__ = [
+    "merge_general",
+    "merge_one_difference",
+    "merge_pair",
+    "merge_two_differences",
+    "MergeEvent",
+    "MergeReport",
+    "MergingEngine",
+    "PathUniverse",
+]

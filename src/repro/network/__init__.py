@@ -1,0 +1,31 @@
+"""The discrete-event overlay network simulator."""
+
+from repro.network.clients import PublisherClient, SubscriberClient
+from repro.network.latency import (
+    ClusterLatency,
+    ConstantLatency,
+    LatencyModel,
+    PlanetLabLatency,
+)
+from repro.network.overlay import Overlay
+from repro.network.simulator import Simulator
+from repro.network.stats import DeliveryRecord, NetworkStats
+from repro.network.trace import TraceRecord, Tracer
+from repro.network.wire import decode, encode
+
+__all__ = [
+    "PublisherClient",
+    "SubscriberClient",
+    "ClusterLatency",
+    "ConstantLatency",
+    "LatencyModel",
+    "PlanetLabLatency",
+    "Overlay",
+    "Simulator",
+    "DeliveryRecord",
+    "NetworkStats",
+    "TraceRecord",
+    "Tracer",
+    "decode",
+    "encode",
+]

@@ -1,0 +1,331 @@
+"""The overlay network: brokers, links, clients, and the event loop.
+
+An :class:`Overlay` owns a :class:`~repro.network.simulator.Simulator`,
+a :class:`~repro.network.stats.NetworkStats`, a latency model and a set
+of brokers.  Messages submitted by clients propagate hop by hop; each
+broker hop charges the link latency plus (optionally) the *measured*
+processing time of the broker's handler, so notification delays combine
+modelled wide-area latency with the real cost of routing-table matching
+— the same two components the paper's PlanetLab numbers contain.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional, Set, Tuple
+
+from repro.broker.broker import Broker
+from repro.broker.messages import Message, PublishMsg
+from repro.broker.strategies import RoutingConfig
+from repro.errors import RoutingError, TopologyError
+from repro.merging.engine import PathUniverse
+from repro.network.clients import PublisherClient, SubscriberClient
+from repro.network.latency import ClusterLatency, LatencyModel
+from repro.network.simulator import Simulator
+from repro.network.stats import DeliveryRecord, NetworkStats
+
+
+class Overlay:
+    """A network of content-based XML routers.
+
+    Args:
+        config: routing strategy applied to every broker.
+        latency_model: link delay model (default: cluster LAN).
+        universe: publication universe handed to brokers for merging.
+        processing_scale: multiplier on measured handler wall time added
+            to the virtual clock (0 disables processing cost; 1 charges
+            the real Python matching cost).
+        queueing: serialise each broker's processing (arrivals wait for
+            the broker to become idle) instead of overlapping it.
+    """
+
+    def __init__(
+        self,
+        config: Optional[RoutingConfig] = None,
+        latency_model: Optional[LatencyModel] = None,
+        universe: Optional[PathUniverse] = None,
+        processing_scale: float = 1.0,
+        queueing: bool = False,
+    ):
+        self.config = config if config is not None else RoutingConfig.full()
+        self.latency_model = (
+            latency_model if latency_model is not None else ClusterLatency()
+        )
+        self.universe = universe
+        self.processing_scale = processing_scale
+        self.sim = Simulator()
+        self.stats = NetworkStats()
+        self.brokers: Dict[str, Broker] = {}
+        self.links: Set[Tuple[str, str]] = set()
+        self.subscribers: Dict[str, SubscriberClient] = {}
+        self.publishers: Dict[str, PublisherClient] = {}
+        self._client_home: Dict[str, str] = {}
+        self._tracers = []
+        #: With queueing enabled a broker serialises its message
+        #: processing: a message arriving while the broker is busy waits
+        #: for the previous one to finish, so per-hop delays grow under
+        #: load instead of overlapping for free.
+        self.queueing = queueing
+        self._busy_until: Dict[str, float] = {}
+
+    # -- construction -----------------------------------------------------
+
+    def add_broker(self, broker_id: str) -> Broker:
+        if broker_id in self.brokers:
+            raise TopologyError("duplicate broker id %r" % broker_id)
+        broker = Broker(
+            broker_id=broker_id, config=self.config, universe=self.universe
+        )
+        self.brokers[broker_id] = broker
+        return broker
+
+    def connect(self, a: str, b: str):
+        """Create a bidirectional link between two brokers.
+
+        The overlay must stay acyclic: the paper's dissemination
+        protocol floods advertisements and reverse-path-routes
+        subscriptions/publications over a spanning tree, and a cycle
+        would duplicate (and for publications, loop) messages.
+        """
+        if a not in self.brokers or b not in self.brokers:
+            raise TopologyError("cannot link unknown brokers %r-%r" % (a, b))
+        if (a, b) in self.links or (b, a) in self.links:
+            raise TopologyError("duplicate link %r-%r" % (a, b))
+        if self._connected(a, b):
+            raise TopologyError(
+                "link %r-%r would close a cycle; the overlay must remain "
+                "a tree" % (a, b)
+            )
+        self.links.add((a, b))
+        self.brokers[a].connect(b)
+        self.brokers[b].connect(a)
+
+    def _connected(self, a: str, b: str) -> bool:
+        """Is there already a path between brokers *a* and *b*?"""
+        adjacency: Dict[str, list] = {}
+        for left, right in self.links:
+            adjacency.setdefault(left, []).append(right)
+            adjacency.setdefault(right, []).append(left)
+        seen = {a}
+        stack = [a]
+        while stack:
+            current = stack.pop()
+            if current == b:
+                return True
+            for neighbor in adjacency.get(current, ()):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    stack.append(neighbor)
+        return False
+
+    def attach_subscriber(self, client_id: str, broker_id: str) -> SubscriberClient:
+        self._check_client(client_id, broker_id)
+        client = SubscriberClient(client_id, self, broker_id)
+        self.subscribers[client_id] = client
+        self._client_home[client_id] = broker_id
+        self.brokers[broker_id].attach_client(client_id)
+        return client
+
+    def attach_publisher(self, client_id: str, broker_id: str) -> PublisherClient:
+        self._check_client(client_id, broker_id)
+        client = PublisherClient(client_id, self, broker_id)
+        self.publishers[client_id] = client
+        self._client_home[client_id] = broker_id
+        self.brokers[broker_id].attach_client(client_id)
+        return client
+
+    def _check_client(self, client_id: str, broker_id: str):
+        if broker_id not in self.brokers:
+            raise TopologyError("unknown broker %r" % broker_id)
+        if client_id in self._client_home or client_id in self.brokers:
+            raise TopologyError("duplicate client id %r" % client_id)
+
+    @classmethod
+    def binary_tree(
+        cls,
+        levels: int,
+        config: Optional[RoutingConfig] = None,
+        **kwargs,
+    ) -> "Overlay":
+        """A complete binary tree of brokers, as in the paper's traffic
+        experiments: ``levels=3`` gives the 7-broker overlay, ``levels=7``
+        the 127-broker one.  Brokers are named ``b1 .. bN`` with ``bi``
+        linked to ``b(2i)`` and ``b(2i+1)``."""
+        if levels < 1:
+            raise TopologyError("a tree needs at least one level")
+        overlay = cls(config=config, **kwargs)
+        count = 2 ** levels - 1
+        for i in range(1, count + 1):
+            overlay.add_broker("b%d" % i)
+        for i in range(1, count + 1):
+            for child in (2 * i, 2 * i + 1):
+                if child <= count:
+                    overlay.connect("b%d" % i, "b%d" % child)
+        return overlay
+
+    def leaf_brokers(self):
+        """Brokers with exactly one link (tree leaves)."""
+        degree: Dict[str, int] = {b: 0 for b in self.brokers}
+        for a, b in self.links:
+            degree[a] += 1
+            degree[b] += 1
+        return sorted(b for b, d in degree.items() if d <= 1)
+
+    # -- messaging ------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    def submit(self, client_id: str, message: Message):
+        """A client hands a message to its edge broker (hop 0)."""
+        broker_id = self._client_home.get(client_id)
+        if broker_id is None:
+            raise RoutingError("unknown client %r" % client_id)
+        latency = self.latency_model.latency(
+            client_id, broker_id, _size_of(message)
+        )
+        self.sim.schedule(
+            latency,
+            lambda: self._broker_receive(broker_id, message, client_id, 1),
+        )
+
+    def attach_tracer(self, tracer):
+        """Register a :class:`repro.network.trace.Tracer`; every broker
+        message hop is offered to it."""
+        self._tracers.append(tracer)
+        return tracer
+
+    def _broker_receive(
+        self, broker_id: str, message: Message, from_hop: str, hops: int
+    ):
+        self.stats.record_broker_message(broker_id, message.kind)
+        for tracer in self._tracers:
+            tracer.record(self.sim.now, broker_id, message, from_hop)
+        broker = self.brokers[broker_id]
+        started = time.perf_counter()
+        outbound = broker.handle(message, from_hop)
+        processing = (time.perf_counter() - started) * self.processing_scale
+        if self.queueing:
+            queued_from = max(
+                self.sim.now, self._busy_until.get(broker_id, 0.0)
+            )
+            finish = queued_from + processing
+            self._busy_until[broker_id] = finish
+            processing = finish - self.sim.now
+        for destination, out_msg in outbound:
+            self._forward(broker_id, destination, out_msg, processing, hops)
+
+    def _forward(
+        self,
+        src_broker: str,
+        destination: str,
+        message: Message,
+        processing: float,
+        hops: int,
+    ):
+        latency = processing + self.latency_model.latency(
+            src_broker, destination, _size_of(message)
+        )
+        if destination in self.brokers:
+            self.sim.schedule(
+                latency,
+                lambda: self._broker_receive(
+                    destination, message, src_broker, hops + 1
+                ),
+            )
+        elif destination in self.subscribers:
+            self.sim.schedule(
+                latency,
+                lambda: self._client_receive(destination, message, hops),
+            )
+        else:
+            raise RoutingError(
+                "broker %r emitted message to unknown destination %r"
+                % (src_broker, destination)
+            )
+
+    def _client_receive(self, client_id: str, message: Message, hops: int):
+        self.stats.record_client_message()
+        client = self.subscribers[client_id]
+        if isinstance(message, PublishMsg):
+            self.stats.record_delivery(
+                DeliveryRecord(
+                    subscriber_id=client_id,
+                    doc_id=message.publication.doc_id,
+                    path_id=message.publication.path_id,
+                    issued_at=message.issued_at,
+                    delivered_at=self.sim.now,
+                    hops=hops,
+                )
+            )
+        client.receive(message, hops)
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Drain all pending traffic; returns processed event count."""
+        return self.sim.run(max_events=max_events)
+
+    # -- reporting ----------------------------------------------------------------
+
+    def routing_table_sizes(self) -> Dict[str, int]:
+        return {
+            broker_id: broker.routing_table_size()
+            for broker_id, broker in self.brokers.items()
+        }
+
+    def restart_broker(self, broker_id: str, with_state: bool = True):
+        """Replace a broker in place, as after a process restart.
+
+        With ``with_state`` the new instance is rebuilt from a snapshot
+        (see :mod:`repro.broker.persistence`) and routing continues
+        unaffected; without it the broker comes back empty — the
+        degraded behaviour the persistence layer exists to avoid.
+        """
+        from repro.broker.persistence import restore, snapshot
+
+        old = self.brokers.get(broker_id)
+        if old is None:
+            raise TopologyError("unknown broker %r" % broker_id)
+        if with_state:
+            replacement = restore(snapshot(old), universe=self.universe)
+        else:
+            replacement = Broker(
+                broker_id=broker_id,
+                config=self.config,
+                universe=self.universe,
+            )
+            for neighbor in old.neighbors:
+                replacement.connect(neighbor)
+            for client in old.local_clients:
+                replacement.attach_client(client)
+        self.brokers[broker_id] = replacement
+        return replacement
+
+    def describe(self) -> Dict[str, object]:
+        """Topology plus per-broker summaries (CLI / debugging)."""
+        return {
+            "strategy": self.config.name,
+            "brokers": len(self.brokers),
+            "links": sorted("%s-%s" % link for link in self.links),
+            "subscribers": sorted(self.subscribers),
+            "publishers": sorted(self.publishers),
+            "stats": self.stats.summary(),
+            "per_broker": {
+                broker_id: broker.describe()
+                for broker_id, broker in sorted(self.brokers.items())
+            },
+        }
+
+    def delivered_map(self) -> Dict[str, Set[str]]:
+        """subscriber id -> set of delivered document ids (the delivery
+        -equivalence invariant compares these across strategies)."""
+        return {
+            client_id: client.delivered_documents()
+            for client_id, client in self.subscribers.items()
+        }
+
+
+def _size_of(message: Message) -> int:
+    if isinstance(message, PublishMsg):
+        return max(message.doc_size_bytes, 64)
+    return 64  # control messages are small and size-invariant

@@ -1,0 +1,65 @@
+"""A minimal discrete-event simulator.
+
+Events are ``(time, sequence, callable)`` triples in a heap; the
+sequence number breaks ties deterministically (FIFO for equal
+timestamps), which makes every experiment reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Optional
+
+
+class Simulator:
+    """Single-threaded discrete-event loop with a virtual clock."""
+
+    def __init__(self):
+        self._queue = []
+        self._counter = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        return self._processed
+
+    def schedule(self, delay: float, action: Callable[[], None]):
+        """Run *action* at ``now + delay`` (delay must not be negative)."""
+        if delay < 0:
+            raise ValueError("cannot schedule into the past (delay=%r)" % delay)
+        heapq.heappush(
+            self._queue, (self._now + delay, next(self._counter), action)
+        )
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None):
+        """Drain the event queue.
+
+        Args:
+            until: stop once the clock would pass this time.
+            max_events: safety valve against runaway feedback loops.
+
+        Returns the number of events processed by this call.
+        """
+        processed = 0
+        while self._queue:
+            if max_events is not None and processed >= max_events:
+                break
+            time, _seq, action = self._queue[0]
+            if until is not None and time > until:
+                break
+            heapq.heappop(self._queue)
+            self._now = time
+            action()
+            processed += 1
+            self._processed += 1
+        return processed
+
+    def pending(self) -> int:
+        return len(self._queue)

@@ -1,0 +1,295 @@
+"""A real TCP deployment of the broker.
+
+The paper deploys its routers on a 20-node cluster and on PlanetLab.
+This module provides the equivalent runnable artifact: each
+:class:`SocketBrokerNode` hosts one :class:`~repro.broker.broker.Broker`
+behind a TCP listener, speaking the newline-delimited JSON protocol of
+:mod:`repro.network.wire`.  Neighbour brokers and clients connect over
+sockets; everything the simulator exercises in-process runs unchanged
+over real connections.
+
+A deployment is driven programmatically::
+
+    deployment = LocalDeployment(config=RoutingConfig.full())
+    deployment.add_broker("b1")
+    deployment.add_broker("b2")
+    deployment.link("b1", "b2")
+    deployment.start()
+    publisher = deployment.publisher("pub", "b1")
+    subscriber = deployment.subscriber("sub", "b2")
+    ...
+    deployment.stop()
+
+Threading model: one acceptor plus one reader thread per connection;
+each broker serialises its message handling with a lock (brokers are
+single-threaded state machines, exactly as in the simulator).  The
+implementation favours clarity over raw throughput — it exists to show
+the routing layer is transport-independent and to back the integration
+tests in tests/test_sockets.py.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.broker.broker import Broker
+from repro.broker.messages import Message, PublishMsg
+from repro.broker.strategies import RoutingConfig
+from repro.errors import RoutingError
+from repro.network.wire import decode, encode
+
+
+class _Connection:
+    """One framed peer connection with a reader thread."""
+
+    def __init__(self, sock: socket.socket, peer_name: str, on_message):
+        self.sock = sock
+        self.peer_name = peer_name
+        self._on_message = on_message
+        self._send_lock = threading.Lock()
+        self._thread = threading.Thread(target=self._read_loop, daemon=True)
+        self._closed = threading.Event()
+
+    def start(self):
+        self._thread.start()
+
+    def send(self, message: Message):
+        payload = encode(message)
+        with self._send_lock:
+            try:
+                self.sock.sendall(payload)
+            except OSError:
+                self._closed.set()
+
+    def close(self):
+        self._closed.set()
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self.sock.close()
+
+    def _read_loop(self):
+        buffer = b""
+        while not self._closed.is_set():
+            try:
+                chunk = self.sock.recv(65536)
+            except OSError:
+                break
+            if not chunk:
+                break
+            buffer += chunk
+            while b"\n" in buffer:
+                line, buffer = buffer.split(b"\n", 1)
+                if line.strip():
+                    self._on_message(self.peer_name, decode(line))
+        self._closed.set()
+
+
+class SocketBrokerNode:
+    """One broker process-equivalent: a TCP listener plus the broker."""
+
+    def __init__(
+        self,
+        broker_id: str,
+        config: Optional[RoutingConfig] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        universe=None,
+    ):
+        self.broker = Broker(broker_id, config=config, universe=universe)
+        self.broker_id = broker_id
+        self._listener = socket.create_server((host, port))
+        self.host, self.port = self._listener.getsockname()
+        self._connections: Dict[str, _Connection] = {}
+        self._lock = threading.RLock()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, daemon=True
+        )
+        self._stopping = threading.Event()
+        self.delivered: List[Tuple[str, Message]] = []
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self):
+        self._accept_thread.start()
+
+    def stop(self):
+        self._stopping.set()
+        self._listener.close()
+        with self._lock:
+            connections = list(self._connections.values())
+        for connection in connections:
+            connection.close()
+
+    # -- wiring --------------------------------------------------------------
+
+    def connect_to(self, peer: "SocketBrokerNode"):
+        """Dial a neighbouring broker (the passive side learns our name
+        via the handshake line)."""
+        sock = socket.create_connection((peer.host, peer.port))
+        sock.sendall(("HELLO %s\n" % self.broker_id).encode("ascii"))
+        connection = _Connection(sock, peer.broker_id, self._on_message)
+        with self._lock:
+            self._connections[peer.broker_id] = connection
+            self.broker.connect(peer.broker_id)
+        connection.start()
+
+    def attach_local_client(self, client_id: str, deliver):
+        """Register an in-process client; *deliver* is called with each
+        message routed to it (publishers never receive anything)."""
+        with self._lock:
+            self.broker.attach_client(client_id)
+            self._client_sinks = getattr(self, "_client_sinks", {})
+            self._client_sinks[client_id] = deliver
+
+    def _accept_loop(self):
+        while not self._stopping.is_set():
+            try:
+                sock, _addr = self._listener.accept()
+            except OSError:
+                break
+            threading.Thread(
+                target=self._handshake, args=(sock,), daemon=True
+            ).start()
+
+    def _handshake(self, sock: socket.socket):
+        buffer = b""
+        while b"\n" not in buffer:
+            chunk = sock.recv(4096)
+            if not chunk:
+                sock.close()
+                return
+            buffer += chunk
+        line, rest = buffer.split(b"\n", 1)
+        words = line.decode("ascii", "replace").split()
+        if len(words) != 2 or words[0] != "HELLO":
+            sock.close()
+            return
+        peer_name = words[1]
+        connection = _Connection(sock, peer_name, self._on_message)
+        with self._lock:
+            self._connections[peer_name] = connection
+            if peer_name not in self.broker.neighbors:
+                self.broker.connect(peer_name)
+        connection.start()
+        if rest.strip():
+            for extra in rest.split(b"\n"):
+                if extra.strip():
+                    self._on_message(peer_name, decode(extra))
+
+    # -- message plumbing ------------------------------------------------------
+
+    def submit_local(self, client_id: str, message: Message):
+        """A locally attached client hands in a message."""
+        self._on_message(client_id, message)
+
+    def _on_message(self, from_hop: str, message: Message):
+        with self._lock:
+            outbound = self.broker.handle(message, from_hop)
+            sinks = getattr(self, "_client_sinks", {})
+            for destination, out_msg in outbound:
+                if destination in sinks:
+                    self.delivered.append((destination, out_msg))
+                    sinks[destination](out_msg)
+                else:
+                    connection = self._connections.get(destination)
+                    if connection is None:
+                        raise RoutingError(
+                            "broker %r has no connection to %r"
+                            % (self.broker_id, destination)
+                        )
+                    connection.send(out_msg)
+
+
+class LocalDeployment:
+    """A multi-broker TCP deployment on localhost."""
+
+    def __init__(self, config: Optional[RoutingConfig] = None, universe=None):
+        self.config = config
+        self.universe = universe
+        self.nodes: Dict[str, SocketBrokerNode] = {}
+        self._links: Set[Tuple[str, str]] = set()
+        self._clients: Dict[str, "DeployedClient"] = {}
+
+    def add_broker(self, broker_id: str) -> SocketBrokerNode:
+        node = SocketBrokerNode(
+            broker_id, config=self.config, universe=self.universe
+        )
+        self.nodes[broker_id] = node
+        return node
+
+    def link(self, a: str, b: str):
+        self._links.add((a, b))
+
+    def start(self):
+        for node in self.nodes.values():
+            node.start()
+        for a, b in sorted(self._links):
+            self.nodes[a].connect_to(self.nodes[b])
+
+    def stop(self):
+        for node in self.nodes.values():
+            node.stop()
+
+    def publisher(self, client_id: str, broker_id: str) -> "DeployedClient":
+        return self._attach(client_id, broker_id)
+
+    def subscriber(self, client_id: str, broker_id: str) -> "DeployedClient":
+        return self._attach(client_id, broker_id)
+
+    def _attach(self, client_id: str, broker_id: str) -> "DeployedClient":
+        client = DeployedClient(client_id, self.nodes[broker_id])
+        self.nodes[broker_id].attach_local_client(client_id, client._deliver)
+        self._clients[client_id] = client
+        return client
+
+    def settle(self, timeout: float = 1.0):
+        """Crude quiescence wait for tests: sleep-poll until no node has
+        handled a new message for a short grace period."""
+        import time
+
+        def totals():
+            return tuple(
+                sum(node.broker.stats.values()) for node in self.nodes.values()
+            )
+
+        deadline = time.time() + timeout
+        last = totals()
+        stable_since = time.time()
+        while time.time() < deadline:
+            time.sleep(0.02)
+            current = totals()
+            if current != last:
+                last = current
+                stable_since = time.time()
+            elif time.time() - stable_since > 0.1:
+                return True
+        return False
+
+
+class DeployedClient:
+    """A client attached to a deployed broker over the local API."""
+
+    def __init__(self, client_id: str, node: SocketBrokerNode):
+        self.client_id = client_id
+        self._node = node
+        self.received: List[Message] = []
+        self._lock = threading.Lock()
+
+    def _deliver(self, message: Message):
+        with self._lock:
+            self.received.append(message)
+
+    def submit(self, message: Message):
+        self._node.submit_local(self.client_id, message)
+
+    def delivered_documents(self) -> Set[str]:
+        with self._lock:
+            return {
+                msg.publication.doc_id
+                for msg in self.received
+                if isinstance(msg, PublishMsg)
+            }

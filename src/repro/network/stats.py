@@ -1,0 +1,117 @@
+"""Traffic and delay accounting for overlay experiments.
+
+The paper's Tables 2–3 report *network traffic* — the total number of
+messages (advertisements, subscriptions and publications) received by
+all brokers — and *notification delay*, the time between a publication
+being issued and a subscriber receiving the (first matching path of
+the) document.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class DeliveryRecord:
+    """One document delivery at one subscriber."""
+
+    subscriber_id: str
+    doc_id: str
+    path_id: int
+    issued_at: float
+    delivered_at: float
+    hops: int
+
+    @property
+    def delay(self) -> float:
+        return self.delivered_at - self.issued_at
+
+
+@dataclass
+class NetworkStats:
+    """Counters shared by every broker and client of one overlay."""
+
+    broker_messages: Dict[str, int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+    messages_by_kind: Dict[str, int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+    client_messages: int = 0
+    deliveries: List[DeliveryRecord] = field(default_factory=list)
+
+    # -- recording -------------------------------------------------------
+
+    def record_broker_message(self, broker_id: str, kind: str):
+        self.broker_messages[broker_id] += 1
+        self.messages_by_kind[kind] += 1
+
+    def record_client_message(self):
+        self.client_messages += 1
+
+    def record_delivery(self, record: DeliveryRecord):
+        self.deliveries.append(record)
+
+    # -- report ------------------------------------------------------------
+
+    @property
+    def network_traffic(self) -> int:
+        """Total messages received by brokers (Tables 2–3 metric)."""
+        return sum(self.broker_messages.values())
+
+    def traffic_of_kind(self, kind: str) -> int:
+        return self.messages_by_kind.get(kind, 0)
+
+    def delivered_documents(self) -> Dict[Tuple[str, str], DeliveryRecord]:
+        """First delivery per (subscriber, document)."""
+        firsts: Dict[Tuple[str, str], DeliveryRecord] = {}
+        for record in self.deliveries:
+            key = (record.subscriber_id, record.doc_id)
+            current = firsts.get(key)
+            if current is None or record.delivered_at < current.delivered_at:
+                firsts[key] = record
+        return firsts
+
+    def mean_notification_delay(self) -> Optional[float]:
+        """Mean first-delivery delay in seconds, or None without
+        deliveries."""
+        firsts = self.delivered_documents()
+        if not firsts:
+            return None
+        return sum(r.delay for r in firsts.values()) / len(firsts)
+
+    def delay_percentile(self, fraction: float) -> Optional[float]:
+        """First-delivery delay percentile (0 < fraction <= 1), e.g.
+        ``delay_percentile(0.95)`` for p95; None without deliveries."""
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        delays = sorted(
+            record.delay for record in self.delivered_documents().values()
+        )
+        if not delays:
+            return None
+        index = max(0, int(round(fraction * len(delays))) - 1)
+        return delays[index]
+
+    def delays_by_hops(self) -> Dict[int, List[float]]:
+        """First-delivery delays grouped by broker hop count (the x-axis
+        of Figures 10–11)."""
+        grouped: Dict[int, List[float]] = defaultdict(list)
+        for record in self.delivered_documents().values():
+            grouped[record.hops].append(record.delay)
+        return dict(grouped)
+
+    def summary(self) -> Dict[str, object]:
+        mean_delay = self.mean_notification_delay()
+        p95 = self.delay_percentile(0.95)
+        return {
+            "network_traffic": self.network_traffic,
+            "by_kind": dict(self.messages_by_kind),
+            "deliveries": len(self.deliveries),
+            "documents_delivered": len(self.delivered_documents()),
+            "mean_delay_ms": None if mean_delay is None else mean_delay * 1e3,
+            "p95_delay_ms": None if p95 is None else p95 * 1e3,
+        }

@@ -1,0 +1,120 @@
+"""Message tracing for the overlay.
+
+Attach a :class:`Tracer` to an :class:`~repro.network.overlay.Overlay`
+to record every message hop with its virtual timestamp — the tool for
+debugging routing decisions, asserting fine-grained behaviour in tests,
+and producing the per-message hop logs a real deployment would emit.
+
+Filters keep traces small: by message kind, by broker, or by a
+predicate on the traced record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One observed hop of one message."""
+
+    time: float
+    broker_id: str
+    kind: str
+    from_hop: str
+    detail: str
+
+    def __str__(self):
+        return "%10.6f  %-8s %-14s from=%-8s %s" % (
+            self.time,
+            self.broker_id,
+            self.kind,
+            self.from_hop,
+            self.detail,
+        )
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` objects from an overlay.
+
+    Args:
+        kinds: restrict to these message kinds (None = all).
+        brokers: restrict to these broker ids (None = all).
+        predicate: arbitrary final filter on the record.
+        limit: stop recording beyond this many records (0 = unlimited).
+    """
+
+    def __init__(
+        self,
+        kinds: Optional[Sequence[str]] = None,
+        brokers: Optional[Sequence[str]] = None,
+        predicate: Optional[Callable[[TraceRecord], bool]] = None,
+        limit: int = 0,
+    ):
+        self._kinds = frozenset(kinds) if kinds is not None else None
+        self._brokers = frozenset(brokers) if brokers is not None else None
+        self._predicate = predicate
+        self._limit = limit
+        self.records: List[TraceRecord] = []
+        self.dropped = 0
+
+    def record(self, time, broker_id, message, from_hop):
+        kind = type(message).__name__
+        if self._kinds is not None and kind not in self._kinds:
+            return
+        if self._brokers is not None and broker_id not in self._brokers:
+            return
+        record = TraceRecord(
+            time=time,
+            broker_id=broker_id,
+            kind=kind,
+            from_hop=str(from_hop),
+            detail=_describe(message),
+        )
+        if self._predicate is not None and not self._predicate(record):
+            return
+        if self._limit and len(self.records) >= self._limit:
+            self.dropped += 1
+            return
+        self.records.append(record)
+
+    # -- analysis ---------------------------------------------------------
+
+    def by_broker(self) -> Dict[str, List[TraceRecord]]:
+        grouped: Dict[str, List[TraceRecord]] = {}
+        for record in self.records:
+            grouped.setdefault(record.broker_id, []).append(record)
+        return grouped
+
+    def kinds_seen(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for record in self.records:
+            counts[record.kind] = counts.get(record.kind, 0) + 1
+        return counts
+
+    def format(self, last: int = 0) -> str:
+        records = self.records[-last:] if last else self.records
+        lines = [str(record) for record in records]
+        if self.dropped:
+            lines.append("... %d records dropped (limit)" % self.dropped)
+        return "\n".join(lines)
+
+    def __len__(self):
+        return len(self.records)
+
+
+def _describe(message) -> str:
+    expr = getattr(message, "expr", None)
+    if expr is not None:
+        return str(expr)
+    advert = getattr(message, "advert", None)
+    if advert is not None:
+        return "%s %s" % (getattr(message, "adv_id", ""), advert)
+    publication = getattr(message, "publication", None)
+    if publication is not None:
+        return str(publication)
+    adv_id = getattr(message, "adv_id", None)
+    if adv_id is not None:
+        return str(adv_id)
+    return ""

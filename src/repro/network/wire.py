@@ -1,0 +1,164 @@
+"""Wire format: JSON encoding of every protocol message.
+
+The simulator passes message objects by reference; a real deployment
+(see :mod:`repro.network.sockets`) needs a byte encoding.  Messages are
+encoded as one JSON object per line (newline-delimited JSON — easy to
+frame over TCP and to inspect on the wire):
+
+* XPEs serialise to their string form (the parser is the decoder),
+* advertisements serialise to a small AST (``lit``/``rep`` nodes) so
+  recursive patterns round-trip exactly,
+* publications carry doc id, path id and the element path.
+
+``encode``/``decode`` are total inverses for every message kind; the
+property-based tests round-trip randomly generated messages.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Union
+
+from repro.adverts.model import Advertisement, AdvNode, Lit, Rep
+from repro.broker.messages import (
+    AdvertiseMsg,
+    Message,
+    PublishMsg,
+    SubscribeMsg,
+    UnadvertiseMsg,
+    UnsubscribeMsg,
+)
+from repro.errors import ReproError
+from repro.xmldoc.document import Publication
+from repro.xpath.parser import parse_xpath
+
+
+class WireError(ReproError):
+    """Raised for malformed wire data."""
+
+
+def _advert_node_to_obj(node: AdvNode):
+    if isinstance(node, Lit):
+        return {"lit": list(node.tests)}
+    return {"rep": [_advert_node_to_obj(child) for child in node.body]}
+
+
+def _advert_node_from_obj(obj) -> AdvNode:
+    if not isinstance(obj, dict) or len(obj) != 1:
+        raise WireError("malformed advertisement node %r" % (obj,))
+    if "lit" in obj:
+        tests = obj["lit"]
+        if not isinstance(tests, list) or not all(
+            isinstance(t, str) for t in tests
+        ):
+            raise WireError("malformed literal tests %r" % (tests,))
+        return Lit(tuple(tests))
+    if "rep" in obj:
+        return Rep(tuple(_advert_node_from_obj(c) for c in obj["rep"]))
+    raise WireError("unknown advertisement node key in %r" % (obj,))
+
+
+def advert_to_obj(advert: Advertisement):
+    return [_advert_node_to_obj(node) for node in advert.nodes]
+
+
+def advert_from_obj(obj) -> Advertisement:
+    if not isinstance(obj, list) or not obj:
+        raise WireError("malformed advertisement %r" % (obj,))
+    return Advertisement(tuple(_advert_node_from_obj(node) for node in obj))
+
+
+def encode(message: Message) -> bytes:
+    """Encode one message as a JSON line (with trailing newline)."""
+    if isinstance(message, AdvertiseMsg):
+        obj = {
+            "kind": "advertise",
+            "adv_id": message.adv_id,
+            "advert": advert_to_obj(message.advert),
+            "publisher_id": message.publisher_id,
+        }
+    elif isinstance(message, UnadvertiseMsg):
+        obj = {"kind": "unadvertise", "adv_id": message.adv_id}
+    elif isinstance(message, SubscribeMsg):
+        obj = {
+            "kind": "subscribe",
+            "expr": str(message.expr),
+            "subscriber_id": message.subscriber_id,
+        }
+    elif isinstance(message, UnsubscribeMsg):
+        obj = {
+            "kind": "unsubscribe",
+            "expr": str(message.expr),
+            "subscriber_id": message.subscriber_id,
+        }
+    elif isinstance(message, PublishMsg):
+        obj = {
+            "kind": "publish",
+            "doc_id": message.publication.doc_id,
+            "path_id": message.publication.path_id,
+            "path": list(message.publication.path),
+            "publisher_id": message.publisher_id,
+            "doc_size_bytes": message.doc_size_bytes,
+            "issued_at": message.issued_at,
+        }
+        if message.publication.attributes is not None:
+            obj["attributes"] = [
+                [[name, value] for name, value in pairs]
+                for pairs in message.publication.attributes
+            ]
+    else:
+        raise WireError("cannot encode message kind %r" % type(message).__name__)
+    return (json.dumps(obj, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode(line: Union[bytes, str]) -> Message:
+    """Decode one JSON line back into a message object."""
+    if isinstance(line, bytes):
+        line = line.decode("utf-8")
+    try:
+        obj = json.loads(line)
+    except ValueError as exc:
+        raise WireError("invalid JSON on the wire: %s" % exc)
+    if not isinstance(obj, dict):
+        raise WireError("wire object must be a JSON object")
+    kind = obj.get("kind")
+    try:
+        if kind == "advertise":
+            return AdvertiseMsg(
+                adv_id=obj["adv_id"],
+                advert=advert_from_obj(obj["advert"]),
+                publisher_id=obj.get("publisher_id", ""),
+            )
+        if kind == "unadvertise":
+            return UnadvertiseMsg(adv_id=obj["adv_id"])
+        if kind == "subscribe":
+            return SubscribeMsg(
+                expr=parse_xpath(obj["expr"]),
+                subscriber_id=obj.get("subscriber_id", ""),
+            )
+        if kind == "unsubscribe":
+            return UnsubscribeMsg(
+                expr=parse_xpath(obj["expr"]),
+                subscriber_id=obj.get("subscriber_id", ""),
+            )
+        if kind == "publish":
+            attributes = None
+            if "attributes" in obj:
+                attributes = tuple(
+                    tuple((str(n), str(v)) for n, v in pairs)
+                    for pairs in obj["attributes"]
+                )
+            return PublishMsg(
+                publication=Publication(
+                    doc_id=obj["doc_id"],
+                    path_id=int(obj["path_id"]),
+                    path=tuple(obj["path"]),
+                    attributes=attributes,
+                ),
+                publisher_id=obj.get("publisher_id", ""),
+                doc_size_bytes=int(obj.get("doc_size_bytes", 0)),
+                issued_at=float(obj.get("issued_at", 0.0)),
+            )
+    except KeyError as exc:
+        raise WireError("missing wire field %s" % exc)
+    raise WireError("unknown wire message kind %r" % (kind,))

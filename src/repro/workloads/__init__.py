@@ -1,0 +1,41 @@
+"""Workload generators: XPath query sets and XML document corpora."""
+
+from repro.workloads.sampling import pump_path, sample_dtd_path
+from repro.workloads.xpath_generator import (
+    XPathWorkloadParams,
+    generate_queries,
+    generate_query,
+)
+from repro.workloads.document_generator import (
+    generate_document,
+    generate_documents,
+)
+from repro.workloads.interest import InterestModel, zipf_weights
+from repro.workloads.datasets import (
+    Dataset,
+    covering_rate,
+    covering_workload,
+    nitf_queries,
+    psd_queries,
+    set_a,
+    set_b,
+)
+
+__all__ = [
+    "XPathWorkloadParams",
+    "generate_queries",
+    "generate_query",
+    "sample_dtd_path",
+    "generate_document",
+    "generate_documents",
+    "pump_path",
+    "InterestModel",
+    "zipf_weights",
+    "Dataset",
+    "covering_rate",
+    "covering_workload",
+    "nitf_queries",
+    "psd_queries",
+    "set_a",
+    "set_b",
+]

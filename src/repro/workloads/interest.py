@@ -1,0 +1,107 @@
+"""Subscriber interest models.
+
+The paper observes that "the covering technique achieves more benefit
+when subscribers have similar interests" (§5, Figure 6 discussion).
+This module makes interest similarity a first-class workload knob so
+that claim can be tested directly: subscribers draw their queries from
+a shared pool under a Zipf-like popularity distribution whose skew
+parameter ``s`` controls how similar their interests are.
+
+* ``s = 0`` — uniform choice over the pool: subscribers are maximally
+  dissimilar (for pools much larger than the per-subscriber count).
+* growing ``s`` — probability mass concentrates on the head of the
+  pool: subscribers increasingly pick the same popular queries, raising
+  the covering/duplication rate across the network.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from repro.dtd.model import DTD
+from repro.workloads.xpath_generator import (
+    XPathWorkloadParams,
+    generate_queries,
+)
+from repro.xpath.ast import XPathExpr
+
+
+def zipf_weights(count: int, skew: float) -> List[float]:
+    """Unnormalised Zipf weights ``1 / rank^skew`` for *count* ranks."""
+    if count < 1:
+        raise ValueError("need at least one rank")
+    if skew < 0:
+        raise ValueError("skew cannot be negative")
+    return [1.0 / ((rank + 1) ** skew) for rank in range(count)]
+
+
+class InterestModel:
+    """Draws per-subscriber query sets from a shared popularity-ranked
+    pool."""
+
+    def __init__(
+        self,
+        pool: Sequence[XPathExpr],
+        skew: float = 0.0,
+        seed: int = 0,
+    ):
+        if not pool:
+            raise ValueError("the query pool cannot be empty")
+        self._pool = list(pool)
+        self._weights = zipf_weights(len(self._pool), skew)
+        self._rng = random.Random(seed)
+        self.skew = skew
+
+    @classmethod
+    def from_dtd(
+        cls,
+        dtd: DTD,
+        pool_size: int = 500,
+        skew: float = 0.0,
+        seed: int = 0,
+        params: Optional[XPathWorkloadParams] = None,
+    ) -> "InterestModel":
+        params = params if params is not None else XPathWorkloadParams(
+            wildcard_prob=0.2,
+            descendant_prob=0.15,
+            relative_prob=0.2,
+            min_length=2,
+        )
+        pool = generate_queries(dtd, pool_size, params=params, seed=seed)
+        return cls(pool, skew=skew, seed=seed + 1)
+
+    def draw(self, count: int) -> List[XPathExpr]:
+        """One subscriber's interest set: *count* distinct queries drawn
+        by popularity (truncated when the pool runs out)."""
+        count = min(count, len(self._pool))
+        chosen: Dict[XPathExpr, None] = {}
+        # Weighted sampling without replacement via repeated draws; the
+        # pool is small enough that rejection is cheap.
+        attempts = 0
+        while len(chosen) < count and attempts < count * 200:
+            attempts += 1
+            expr = self._rng.choices(self._pool, weights=self._weights)[0]
+            chosen.setdefault(expr)
+        if len(chosen) < count:
+            for expr in self._pool:
+                chosen.setdefault(expr)
+                if len(chosen) == count:
+                    break
+        return list(chosen)
+
+    def similarity(self, draws: Sequence[Sequence[XPathExpr]]) -> float:
+        """Mean pairwise Jaccard similarity of the drawn interest sets —
+        the measurable notion behind "similar interests"."""
+        if len(draws) < 2:
+            return 0.0
+        sets = [set(draw) for draw in draws]
+        total = 0.0
+        pairs = 0
+        for i in range(len(sets)):
+            for j in range(i + 1, len(sets)):
+                union = sets[i] | sets[j]
+                if union:
+                    total += len(sets[i] & sets[j]) / len(union)
+                pairs += 1
+        return total / pairs if pairs else 0.0

@@ -1,0 +1,94 @@
+"""Shared DTD path sampling for the workload generators.
+
+Both the query generator and the document generator draw legal
+root-to-leaf paths from a DTD.  Sampling walks the element graph with
+the same discipline as advertisement generation (each element at most
+twice per path), so everything sampled here is guaranteed to intersect
+the DTD's advertisement set; :func:`pump_path` deepens a path by
+repeating a detected recursion unit, which stays inside the
+advertisement language (it corresponds to more unrollings of the same
+``(...)+`` region).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Tuple
+
+from repro.dtd.model import DTD
+from repro.errors import WorkloadError
+
+
+def sample_dtd_path(
+    dtd: DTD,
+    rng: random.Random,
+    max_depth: int = 10,
+    leaf_prob: float = 0.35,
+    max_attempts: int = 64,
+) -> Tuple[str, ...]:
+    """Sample one legal root-to-leaf path by random walk.
+
+    Each element occurs at most twice on the path and the walk restarts
+    when the depth bound strands it short of a permissible leaf.
+    """
+    graph = dtd.child_map()
+    for _attempt in range(max_attempts):
+        path = [dtd.root]
+        counts = {dtd.root: 1}
+        while True:
+            name = path[-1]
+            decl = dtd.elements[name]
+            children = [
+                child
+                for child in graph.get(name, ())
+                if counts.get(child, 0) < 2
+            ]
+            can_leaf = decl.can_be_leaf() or not children
+            if not children:
+                if can_leaf:
+                    return tuple(path)
+                break  # dead end: restart
+            if len(path) >= max_depth:
+                if can_leaf:
+                    return tuple(path)
+                break  # too deep: restart
+            if can_leaf and rng.random() < leaf_prob:
+                return tuple(path)
+            child = rng.choice(children)
+            path.append(child)
+            counts[child] = counts.get(child, 0) + 1
+    raise WorkloadError(
+        "could not sample a path from DTD rooted at %r within depth %d"
+        % (dtd.root, max_depth)
+    )
+
+
+def pump_path(
+    path: Tuple[str, ...],
+    rng: random.Random,
+    max_depth: int = 10,
+    pump_prob: float = 0.5,
+) -> Tuple[str, ...]:
+    """Repeat a detected recursion unit of *path* while it fits.
+
+    A unit is the span between two occurrences of the same element; the
+    pumped path corresponds to a deeper unrolling of the same ``(...)+``
+    advertisement region.  Non-recursive paths are returned unchanged.
+    """
+    if rng.random() >= pump_prob:
+        return path
+    first_index = {}
+    unit = None
+    for i, name in enumerate(path):
+        if name in first_index:
+            unit = (first_index[name], i)
+            break
+        first_index[name] = i
+    if unit is None:
+        return path
+    start, end = unit
+    block = path[start:end]
+    pumped = list(path)
+    while len(pumped) + len(block) <= max_depth and rng.random() < 0.5:
+        pumped[start:start] = block
+    return tuple(pumped)

@@ -1,0 +1,162 @@
+"""DTD-driven XPath query generator.
+
+Replicates the role of the XPath generator of Diao et al. used by the
+paper (§5): queries are derived from a DTD's legal paths with three
+tuning knobs — the probability ``W`` of a wildcard at a location step,
+the probability ``DO`` of a descendant (``//``) operator at a location
+step, and a maximum query length (the paper fixes 10).  Queries are
+distinct.
+
+Generation walks a sampled DTD path, optionally starts mid-path
+(relative queries), replaces tests with ``*`` with probability ``W``
+and, with probability ``DO``, jumps over one or two path elements while
+emitting a ``//`` axis — so every query matches at least one legal
+document path of the DTD by construction.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.dtd.model import DTD
+from repro.errors import WorkloadError
+from repro.workloads.sampling import pump_path, sample_dtd_path
+from repro.xpath.ast import Axis, Step, WILDCARD, XPathExpr
+
+
+@dataclass(frozen=True)
+class XPathWorkloadParams:
+    """Knobs of the query generator (Diao et al.'s parameter space).
+
+    ``full_path_prob`` biases queries toward complete root-to-leaf
+    paths — distinct full paths never cover each other, which lowers a
+    workload's covering rate; truncated prefixes raise it.
+    ``wildcard_min_position`` keeps the first step(s) concrete so a
+    handful of all-wildcard queries cannot cover an entire workload.
+    """
+
+    wildcard_prob: float = 0.2  # W
+    descendant_prob: float = 0.2  # DO
+    relative_prob: float = 0.2
+    max_length: int = 10
+    min_length: int = 1
+    leaf_prob: float = 0.35
+    full_path_prob: float = 0.0
+    wildcard_min_position: int = 1
+    pump_prob: float = 0.0
+
+    def __post_init__(self):
+        for name in (
+            "wildcard_prob",
+            "descendant_prob",
+            "relative_prob",
+            "full_path_prob",
+            "pump_prob",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise WorkloadError("%s must be a probability" % name)
+        if not 1 <= self.min_length <= self.max_length:
+            raise WorkloadError("bad length bounds")
+        if self.wildcard_min_position < 0:
+            raise WorkloadError("wildcard_min_position cannot be negative")
+
+
+def generate_query(
+    dtd: DTD,
+    rng: random.Random,
+    params: XPathWorkloadParams,
+) -> XPathExpr:
+    """Generate one query (not necessarily unique)."""
+    path = sample_dtd_path(
+        dtd, rng, max_depth=params.max_length + 2, leaf_prob=params.leaf_prob
+    )
+    for _ in range(32):
+        if len(path) >= params.min_length:
+            break
+        path = sample_dtd_path(
+            dtd,
+            rng,
+            max_depth=params.max_length + 2,
+            leaf_prob=params.leaf_prob,
+        )
+    path = pump_path(
+        path, rng, max_depth=params.max_length, pump_prob=params.pump_prob
+    )
+    relative = rng.random() < params.relative_prob
+    if relative and len(path) > 1:
+        # Keep at least min_length steps after the chosen start when the
+        # path allows it.
+        latest = max(1, len(path) - params.min_length)
+        start = rng.randrange(1, latest + 1)
+    else:
+        relative = False
+        start = 0
+
+    available = len(path) - start
+    if rng.random() < params.full_path_prob:
+        length = min(params.max_length, available)
+    else:
+        length = rng.randint(
+            min(params.min_length, available),
+            min(params.max_length, available),
+        )
+
+    steps: List[Step] = []
+    position = start
+    axis = Axis.CHILD
+    while len(steps) < length and position < len(path):
+        test = path[position]
+        if (
+            len(steps) >= params.wildcard_min_position
+            and rng.random() < params.wildcard_prob
+        ):
+            test = WILDCARD
+        steps.append(Step(axis, test))
+        position += 1
+        axis = Axis.CHILD
+        if (
+            rng.random() < params.descendant_prob
+            and len(steps) < length
+            and position + 1 < len(path)
+        ):
+            skip = rng.randint(1, min(2, len(path) - position - 1))
+            position += skip
+            axis = Axis.DESCENDANT
+    return XPathExpr(steps=tuple(steps), rooted=not relative)
+
+
+def generate_queries(
+    dtd: DTD,
+    count: int,
+    params: Optional[XPathWorkloadParams] = None,
+    seed: int = 0,
+    distinct: bool = True,
+) -> List[XPathExpr]:
+    """Generate *count* queries (distinct by default, as in the paper).
+
+    Raises :class:`WorkloadError` when the parameter space cannot yield
+    enough distinct queries (tiny DTDs with aggressive wildcarding).
+    """
+    params = params if params is not None else XPathWorkloadParams()
+    rng = random.Random(seed)
+    if not distinct:
+        return [generate_query(dtd, rng, params) for _ in range(count)]
+    queries: List[XPathExpr] = []
+    seen = set()
+    attempts = 0
+    max_attempts = max(1000, count * 200)
+    while len(queries) < count:
+        attempts += 1
+        if attempts > max_attempts:
+            raise WorkloadError(
+                "exhausted %d attempts generating %d distinct queries "
+                "(got %d)" % (attempts, count, len(queries))
+            )
+        query = generate_query(dtd, rng, params)
+        if query not in seen:
+            seen.add(query)
+            queries.append(query)
+    return queries

@@ -1,0 +1,5 @@
+"""XML document model and path decomposition."""
+
+from repro.xmldoc.document import Publication, XMLDocument
+
+__all__ = ["Publication", "XMLDocument"]

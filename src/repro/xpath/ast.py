@@ -1,0 +1,360 @@
+"""Abstract syntax for the XPath fragment used by the paper.
+
+The subscription language (paper §3.2) is the single-path XPath fragment
+with three operators:
+
+* the *parent-child* operator ``/``,
+* the *ancestor-descendant* operator ``//``,
+* the *wildcard* node test ``*``.
+
+An expression is a sequence of :class:`Step` objects.  Each step carries
+the axis that connects it to the previous step (``/`` or ``//``) and a node
+test (an element name or the wildcard).  An expression is *absolute*
+(called "rooted" here) when it began with a single ``/`` — its first
+segment is anchored at the document root.  Expressions beginning with
+``//`` or with a bare name/wildcard are *relative*: they may match anywhere
+along a publication path.
+
+Expressions are immutable and hashable so they can serve as routing-table
+keys.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+WILDCARD = "*"
+
+#: Reserved pseudo-attribute carrying an element's text content.
+TEXT_KEY = "#text"
+
+
+class Axis(enum.Enum):
+    """The axis connecting a step to its predecessor."""
+
+    CHILD = "/"
+    DESCENDANT = "//"
+
+    def __str__(self):
+        return self.value
+
+
+class PredicateOp(enum.Enum):
+    """Attribute-predicate operators of the extension (paper §3.1/§3.2:
+    "our approach could be easily extended to element attributes ...
+    through value comparison")."""
+
+    EXISTS = "exists"  # [@name]
+    EQ = "="  # [@name='value']
+    NE = "!="  # [@name!='value']
+
+    def __str__(self):
+        return self.value
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """One attribute predicate attached to a location step."""
+
+    name: str
+    op: PredicateOp = PredicateOp.EXISTS
+    value: str = ""
+
+    def evaluate(self, attributes) -> bool:
+        """Evaluate against an attribute mapping (name -> value)."""
+        if self.op is PredicateOp.EXISTS:
+            return self.name in attributes
+        if self.name not in attributes:
+            return False
+        if self.op is PredicateOp.EQ:
+            return attributes[self.name] == self.value
+        return attributes[self.name] != self.value
+
+    def implied_by(self, others: "Tuple[Predicate, ...]") -> bool:
+        """True when any predicate in *others* logically implies this
+        one — the covering direction (a less constrained step covers a
+        more constrained one)."""
+        for other in others:
+            if other.name != self.name:
+                continue
+            if self == other:
+                return True
+            if self.op is PredicateOp.EXISTS and other.op in (
+                PredicateOp.EXISTS,
+                PredicateOp.EQ,
+            ):
+                return True
+            if (
+                self.op is PredicateOp.NE
+                and other.op is PredicateOp.EQ
+                and other.value != self.value
+            ):
+                return True
+        return False
+
+    def __str__(self):
+        if self.name == TEXT_KEY:
+            return "[text()%s'%s']" % (self.op, self.value)
+        if self.op is PredicateOp.EXISTS:
+            return "[@%s]" % self.name
+        return "[@%s%s'%s']" % (self.name, self.op, self.value)
+
+
+@dataclass(frozen=True)
+class Step:
+    """One location step: an axis, a node test, optional predicates.
+
+    ``test`` is either an XML element name or :data:`WILDCARD`;
+    ``predicates`` are attribute constraints (the value-comparison
+    extension the paper defers to its companion matcher [16]).
+    """
+
+    axis: Axis
+    test: str
+    predicates: Tuple[Predicate, ...] = ()
+
+    @property
+    def is_wildcard(self):
+        """True when the node test is ``*``."""
+        return self.test == WILDCARD
+
+    def __str__(self):
+        return "%s%s%s" % (
+            self.axis,
+            self.test,
+            "".join(str(p) for p in self.predicates),
+        )
+
+
+@dataclass(frozen=True, eq=False)
+class XPathExpr:
+    """A parsed single-path XPath expression (an *XPE*).
+
+    Attributes:
+        steps: the location steps, in document order.
+        rooted: True when the expression was written with a single leading
+            ``/`` (an *absolute* XPE).  ``//``-prefixed and bare
+            expressions are relative.
+
+    Equality and hashing are value-based (rooted + step sequence) but
+    implemented over a memoised key — expressions are compared millions
+    of times inside routing tables, where the generated dataclass
+    equality was a measured hot spot.
+    """
+
+    steps: Tuple[Step, ...]
+    rooted: bool = True
+
+    def __post_init__(self):
+        if not self.steps:
+            raise ValueError("an XPath expression needs at least one step")
+        if self.rooted and self.steps[0].axis is not Axis.CHILD:
+            raise ValueError(
+                "a rooted expression cannot start with a descendant axis"
+            )
+
+    @property
+    def _key(self):
+        try:
+            return self._key_cache
+        except AttributeError:
+            value = (
+                self.rooted,
+                tuple(
+                    (step.axis is Axis.DESCENDANT, step.test, step.predicates)
+                    for step in self.steps
+                ),
+            )
+            object.__setattr__(self, "_key_cache", value)
+            return value
+
+    def __eq__(self, other):
+        if self is other:
+            return True
+        if not isinstance(other, XPathExpr):
+            return NotImplemented
+        return self._key == other._key
+
+    def __hash__(self):
+        try:
+            return self._hash_cache
+        except AttributeError:
+            value = hash(self._key)
+            object.__setattr__(self, "_hash_cache", value)
+            return value
+
+    # -- classification -------------------------------------------------
+
+    @property
+    def is_absolute(self):
+        """True for expressions anchored at the document root."""
+        return self.rooted
+
+    @property
+    def is_relative(self):
+        """True for expressions that may match anywhere along a path."""
+        return not self.rooted
+
+    @property
+    def is_simple(self):
+        """True when the expression contains no ``//`` operator.
+
+        The paper calls these *simple XPEs*; they are matched with the
+        ``AbsExprAndAdv``/``RelExprAndAdv`` algorithms.
+        """
+        try:
+            return self._simple_cache
+        except AttributeError:
+            value = all(step.axis is Axis.CHILD for step in self.steps)
+            object.__setattr__(self, "_simple_cache", value)
+            return value
+
+    @property
+    def has_wildcard(self):
+        """True when any node test is ``*``."""
+        return any(step.is_wildcard for step in self.steps)
+
+    @property
+    def has_predicates(self):
+        """True when any step carries attribute predicates."""
+        return any(step.predicates for step in self.steps)
+
+    # -- views ----------------------------------------------------------
+    #
+    # tests/segments are on every matching and covering hot path, so
+    # they are memoised on the instance (safe: expressions are
+    # immutable, and dataclass eq/hash only consider the declared
+    # fields).
+
+    @property
+    def tests(self):
+        """The node tests as a tuple of strings (names or ``*``)."""
+        try:
+            return self._tests_cache
+        except AttributeError:
+            value = tuple(step.test for step in self.steps)
+            object.__setattr__(self, "_tests_cache", value)
+            return value
+
+    @property
+    def segments(self):
+        """Maximal ``//``-free runs of node tests, in order.
+
+        The first segment is anchored at the root iff the expression is
+        rooted.  Every subsequent segment is connected to its predecessor
+        by a ``//`` operator.  A leading ``//`` leaves the expression with
+        a single floating first segment, exactly like a relative one.
+        """
+        try:
+            return self._segments_cache
+        except AttributeError:
+            pass
+        result = []
+        current = []
+        for step in self.steps:
+            if step.axis is Axis.DESCENDANT and current:
+                result.append(tuple(current))
+                current = []
+            if step.axis is Axis.DESCENDANT and not current and not result:
+                # Leading // — the first segment floats; nothing to flush.
+                pass
+            current.append(step.test)
+        result.append(tuple(current))
+        value = tuple(result)
+        object.__setattr__(self, "_segments_cache", value)
+        return value
+
+    @property
+    def step_segments(self):
+        """Like :attr:`segments` but yielding the :class:`Step` objects
+        (predicates included) instead of bare node tests."""
+        try:
+            return self._step_segments_cache
+        except AttributeError:
+            pass
+        result = []
+        current = []
+        for step in self.steps:
+            if step.axis is Axis.DESCENDANT and current:
+                result.append(tuple(current))
+                current = []
+            current.append(step)
+        result.append(tuple(current))
+        value = tuple(result)
+        object.__setattr__(self, "_step_segments_cache", value)
+        return value
+
+    @property
+    def anchored(self):
+        """True when the first segment must match at path position 0."""
+        return self.rooted and self.steps[0].axis is Axis.CHILD
+
+    def __len__(self):
+        return len(self.steps)
+
+    # -- construction helpers -------------------------------------------
+
+    @classmethod
+    def from_tests(cls, tests, rooted=True):
+        """Build a ``//``-free expression from a sequence of node tests."""
+        steps = tuple(Step(Axis.CHILD, t) for t in tests)
+        return cls(steps=steps, rooted=rooted)
+
+    def with_rooted(self, rooted):
+        """Return a copy of this expression with a different anchoring."""
+        if rooted and self.steps[0].axis is Axis.DESCENDANT:
+            raise ValueError("cannot root an expression starting with //")
+        return XPathExpr(steps=self.steps, rooted=rooted)
+
+    def prefix(self, length):
+        """The rooted/relative prefix consisting of the first *length* steps."""
+        if not 1 <= length <= len(self.steps):
+            raise ValueError("prefix length out of range")
+        return XPathExpr(steps=self.steps[:length], rooted=self.rooted)
+
+    def suffix(self, start):
+        """A relative expression made of the steps from index *start* on.
+
+        The first retained step's axis is normalised to ``/`` so the
+        result is a well-formed relative expression.
+        """
+        if not 0 <= start < len(self.steps):
+            raise ValueError("suffix start out of range")
+        steps = self.steps[start:]
+        steps = (
+            Step(Axis.CHILD, steps[0].test, steps[0].predicates),
+        ) + steps[1:]
+        return XPathExpr(steps=steps, rooted=False)
+
+    def concat(self, other):
+        """Concatenate two expressions with a ``/`` between them."""
+        other_steps = (
+            Step(Axis.CHILD, other.steps[0].test, other.steps[0].predicates),
+        ) + other.steps[1:]
+        return XPathExpr(steps=self.steps + other_steps, rooted=self.rooted)
+
+    # -- rendering -------------------------------------------------------
+
+    def __str__(self):
+        parts = []
+        first = self.steps[0]
+        first_preds = "".join(str(p) for p in first.predicates)
+        if first.axis is Axis.DESCENDANT:
+            parts.append("//%s%s" % (first.test, first_preds))
+        elif self.rooted:
+            parts.append("/%s%s" % (first.test, first_preds))
+        else:
+            parts.append("%s%s" % (first.test, first_preds))
+        for step in self.steps[1:]:
+            parts.append(str(step))
+        return "".join(parts)
+
+    def __repr__(self):
+        return "XPathExpr(%r)" % str(self)
+
+
+def steps_from_tests(tests: Iterable[str], axis=Axis.CHILD):
+    """Utility: turn a test sequence into steps sharing one axis."""
+    return tuple(Step(axis, t) for t in tests)

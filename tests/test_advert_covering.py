@@ -1,0 +1,153 @@
+"""Tests for advertisement covering (paper §2.2)."""
+
+import pytest
+
+from repro.adverts import Advertisement, simple_recursive
+from repro.adverts.covering import AdvertCoverSet, advert_covers
+from repro.adverts.model import Lit, Rep
+from repro.broker import AdvertiseMsg, Broker, RoutingConfig, UnadvertiseMsg
+
+
+def adv(*tests):
+    return Advertisement.from_tests(tests)
+
+
+class TestAdvertCovers:
+    def test_reflexive(self):
+        assert advert_covers(adv("a", "b"), adv("a", "b"))
+
+    def test_wildcard_covers_concrete(self):
+        assert advert_covers(adv("a", "*"), adv("a", "b"))
+        assert not advert_covers(adv("a", "b"), adv("a", "*"))
+
+    def test_equal_length_required(self):
+        # Unlike subscriptions, a shorter advert covers nothing longer:
+        # P(a) holds exact-length paths.
+        assert not advert_covers(adv("a"), adv("a", "b"))
+        assert not advert_covers(adv("a", "b"), adv("a"))
+
+    def test_distinct_names_do_not_cover(self):
+        assert not advert_covers(adv("a", "b"), adv("a", "c"))
+
+    def test_recursive_covers_its_expansions(self):
+        rec = simple_recursive(("a",), ("b",), ("c",))
+        assert advert_covers(rec, adv("a", "b", "c"))
+        assert advert_covers(rec, adv("a", "b", "b", "b", "c"))
+        assert not advert_covers(rec, adv("a", "c"))
+
+    def test_expansion_does_not_cover_recursive(self):
+        rec = simple_recursive(("a",), ("b",), ("c",))
+        assert not advert_covers(adv("a", "b", "c"), rec)
+
+    def test_recursive_self_containment(self):
+        rec = simple_recursive(("a",), ("b",), ("c",))
+        assert advert_covers(rec, rec)
+
+    def test_wider_recursive_covers_narrower(self):
+        wide = simple_recursive(("a",), ("*",), ("c",))
+        narrow = simple_recursive(("a",), ("b",), ("c",))
+        assert advert_covers(wide, narrow)
+        assert not advert_covers(narrow, wide)
+
+    def test_embedded_recursive_contains_inner_unrollings(self):
+        outer = Advertisement(
+            (Lit(("r",)), Rep((Lit(("a",)), Rep((Lit(("b",)),)))), Lit(("z",)))
+        )
+        assert advert_covers(outer, adv("r", "a", "b", "z"))
+        assert advert_covers(outer, adv("r", "a", "b", "b", "a", "b", "z"))
+        assert not advert_covers(outer, adv("r", "a", "z"))
+
+
+class TestAdvertCoverSet:
+    def test_same_direction_suppression(self):
+        cover_set = AdvertCoverSet()
+        assert cover_set.add("a1", adv("x", "*"), "n1")
+        assert not cover_set.add("a2", adv("x", "y"), "n1")
+        assert cover_set.is_covered("a2")
+        assert cover_set.maximal_count() == 1
+
+    def test_cross_direction_never_suppresses(self):
+        cover_set = AdvertCoverSet()
+        assert cover_set.add("a1", adv("x", "*"), "n1")
+        assert cover_set.add("a2", adv("x", "y"), "n2")
+        assert cover_set.maximal_count() == 2
+
+    def test_removal_promotes_covered(self):
+        cover_set = AdvertCoverSet()
+        cover_set.add("a1", adv("x", "*"), "n1")
+        cover_set.add("a2", adv("x", "y"), "n1")
+        promoted = cover_set.remove("a1")
+        assert promoted == ["a2"]
+        assert not cover_set.is_covered("a2")
+
+    def test_removal_keeps_transitively_covered(self):
+        cover_set = AdvertCoverSet()
+        cover_set.add("a1", adv("*", "*"), "n1")
+        cover_set.add("a2", adv("x", "*"), "n1")  # covered by a1
+        cover_set.add("a3", adv("x", "y"), "n1")  # covered by a1
+        promoted = cover_set.remove("a1")
+        # a2 becomes maximal and now covers a3.
+        assert "a2" in promoted
+        assert "a3" not in promoted or not cover_set.is_covered("a3")
+
+    def test_remove_absent(self):
+        assert AdvertCoverSet().remove("ghost") == []
+
+
+class TestBrokerIntegration:
+    def make_broker(self):
+        broker = Broker(
+            "b1",
+            config=RoutingConfig(
+                advertisements=True, covering=True, advert_covering=True
+            ),
+        )
+        broker.connect("n1")
+        broker.connect("n2")
+        return broker
+
+    def test_covered_advert_not_flooded(self):
+        broker = self.make_broker()
+        out1 = broker.handle(
+            AdvertiseMsg(adv_id="a1", advert=adv("x", "*")), "n1"
+        )
+        assert {d for d, _ in out1} == {"n2"}
+        out2 = broker.handle(
+            AdvertiseMsg(adv_id="a2", advert=adv("x", "y")), "n1"
+        )
+        assert not any(isinstance(m, AdvertiseMsg) for _, m in out2)
+
+    def test_different_direction_still_flooded(self):
+        broker = self.make_broker()
+        broker.handle(AdvertiseMsg(adv_id="a1", advert=adv("x", "*")), "n1")
+        out = broker.handle(
+            AdvertiseMsg(adv_id="a2", advert=adv("x", "y")), "n2"
+        )
+        assert ("n1", out[0][1])[0] == "n1"
+
+    def test_unadvertise_refloods_promoted(self):
+        broker = self.make_broker()
+        broker.handle(AdvertiseMsg(adv_id="a1", advert=adv("x", "*")), "n1")
+        broker.handle(AdvertiseMsg(adv_id="a2", advert=adv("x", "y")), "n1")
+        out = broker.handle(UnadvertiseMsg(adv_id="a1"), "n1")
+        advertises = [
+            (d, m) for d, m in out if isinstance(m, AdvertiseMsg)
+        ]
+        assert advertises, "covered advert must be re-flooded on promotion"
+        assert all(m.adv_id == "a2" for _, m in advertises)
+        assert {d for d, _ in advertises} == {"n2"}
+
+    def test_subscriptions_still_routed_to_covered_origin(self):
+        """Routing correctness: the covered advertisement's SRT entry
+        still attracts subscriptions."""
+        from repro.broker import SubscribeMsg
+        from repro.xpath import parse_xpath
+
+        broker = self.make_broker()
+        broker.attach_client("c1")
+        broker.handle(AdvertiseMsg(adv_id="a1", advert=adv("x", "*")), "n1")
+        broker.handle(AdvertiseMsg(adv_id="a2", advert=adv("x", "y")), "n1")
+        out = broker.handle(
+            SubscribeMsg(expr=parse_xpath("/x/y"), subscriber_id="c1"), "c1"
+        )
+        assert [(d, m.expr) for d, m in out] == [("n1", parse_xpath("/x/y"))]

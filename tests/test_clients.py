@@ -1,0 +1,95 @@
+"""Unit tests for publisher/subscriber clients."""
+
+from repro.broker.strategies import RoutingConfig
+from repro.dtd.samples import psd_dtd
+from repro.network import ConstantLatency, Overlay
+from repro.xmldoc import XMLDocument
+
+DOC = """
+<ProteinDatabase>
+  <ProteinEntry>
+    <header>
+      <uid>U1</uid><accession>A1</accession>
+      <created-date>d</created-date>
+      <seq-rev-date>d</seq-rev-date><txt-rev-date>d</txt-rev-date>
+    </header>
+    <protein><name>p53</name></protein>
+    <organism><formal>H. sapiens</formal></organism>
+    <reference><refinfo>
+      <authors><author>L</author></authors>
+      <citation>c</citation><year>2008</year>
+    </refinfo></reference>
+    <summary><length>42</length></summary>
+    <sequence>MA</sequence>
+  </ProteinEntry>
+</ProteinDatabase>
+"""
+
+
+def wired_overlay():
+    overlay = Overlay.binary_tree(
+        2,
+        config=RoutingConfig.with_adv_with_cov(),
+        latency_model=ConstantLatency(0.001),
+    )
+    publisher = overlay.attach_publisher("pub", "b2")
+    subscriber = overlay.attach_subscriber("sub", "b3")
+    publisher.advertise_dtd(psd_dtd())
+    overlay.run()
+    return overlay, publisher, subscriber
+
+
+class TestSubscriberViews:
+    def test_received_publications_per_document(self):
+        overlay, publisher, subscriber = wired_overlay()
+        subscriber.subscribe("//header")
+        subscriber.subscribe("//sequence")
+        overlay.run()
+        publisher.publish_document(XMLDocument.parse(DOC, doc_id="d1"))
+        overlay.run()
+        pubs = subscriber.received_publications("d1")
+        assert pubs
+        assert all(m.publication.doc_id == "d1" for m in pubs)
+        assert subscriber.received_publications("ghost") == []
+
+    def test_matched_paths_are_the_matching_subset(self):
+        overlay, publisher, subscriber = wired_overlay()
+        subscriber.subscribe("/ProteinDatabase/ProteinEntry/sequence")
+        overlay.run()
+        doc = XMLDocument.parse(DOC, doc_id="d2")
+        publisher.publish_document(doc)
+        overlay.run()
+        assert subscriber.matched_paths("d2") == [
+            ("ProteinDatabase", "ProteinEntry", "sequence")
+        ]
+
+    def test_unsubscribed_client_receives_nothing(self):
+        overlay, publisher, subscriber = wired_overlay()
+        publisher.publish_document(XMLDocument.parse(DOC, doc_id="d3"))
+        overlay.run()
+        assert subscriber.delivered_documents() == set()
+
+    def test_publish_paths_convenience(self):
+        overlay, publisher, subscriber = wired_overlay()
+        subscriber.subscribe("/ProteinDatabase/ProteinEntry/sequence")
+        overlay.run()
+        # publish_paths bypasses document parsing (workload drivers);
+        # paths must still lie inside the advertised DTD or the
+        # subscription is never routed toward the publisher.
+        publisher.publish_paths(
+            [
+                ("ProteinDatabase", "ProteinEntry", "sequence"),
+                ("ProteinDatabase", "ProteinEntry", "summary", "length"),
+            ],
+            doc_id="raw-1",
+        )
+        overlay.run()
+        assert subscriber.delivered_documents() == {"raw-1"}
+        assert subscriber.matched_paths("raw-1") == [
+            ("ProteinDatabase", "ProteinEntry", "sequence")
+        ]
+
+    def test_repr_smoke(self):
+        overlay, publisher, subscriber = wired_overlay()
+        assert "pub" in repr(publisher)
+        assert "sub" in repr(subscriber)

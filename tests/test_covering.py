@@ -1,0 +1,165 @@
+"""Unit tests for the covering algorithms (paper §4.2)."""
+
+import pytest
+
+from repro.covering import abs_sim_cov, covers, des_cov, rel_sim_cov, matches_path
+from repro.xpath import parse_xpath
+
+
+def x(text):
+    return parse_xpath(text)
+
+
+class TestAbsSimCov:
+    def test_prefix_covers(self):
+        assert abs_sim_cov(x("/a"), x("/a/b"))
+        assert abs_sim_cov(x("/a/b"), x("/a/b"))
+
+    def test_longer_cannot_cover(self):
+        assert not abs_sim_cov(x("/a/b"), x("/a"))
+
+    def test_wildcard_covers_element(self):
+        assert abs_sim_cov(x("/a/*"), x("/a/b"))
+        assert abs_sim_cov(x("/*/*"), x("/a/b"))
+
+    def test_element_does_not_cover_wildcard(self):
+        assert not abs_sim_cov(x("/a/b"), x("/a/*"))
+
+    def test_mismatch(self):
+        assert not abs_sim_cov(x("/a/c"), x("/a/b"))
+
+
+class TestRelSimCov:
+    def test_infix_covering(self):
+        assert rel_sim_cov(x("b/c"), x("/a/b/c"))
+        assert rel_sim_cov(x("b/c"), x("a/b/c/d"))
+
+    def test_wildcards_in_cover(self):
+        assert rel_sim_cov(x("*/c"), x("/a/b/c"))
+
+    def test_covered_wildcard_needs_wildcard(self):
+        # s2 = /a/*/c: the middle position is unconstrained, b/c in s1
+        # would miss publications /a/d/c.
+        assert not rel_sim_cov(x("b/c"), x("/a/*/c"))
+        assert rel_sim_cov(x("*/c"), x("/a/*/c"))
+
+    def test_not_infix(self):
+        assert not rel_sim_cov(x("c/b"), x("/a/b/c"))
+
+    def test_too_long(self):
+        assert not rel_sim_cov(x("a/b/c"), x("/a/b"))
+
+    def test_relative_covers_relative(self):
+        assert rel_sim_cov(x("b"), x("a/b/c"))
+
+
+class TestCoversDispatch:
+    def test_equal_exprs_cover(self):
+        assert covers(x("/a//b"), x("/a//b"))
+
+    def test_absolute_never_covers_relative(self):
+        assert not covers(x("/a"), x("a"))
+        assert not covers(x("/a/b"), x("a/b"))
+
+    def test_relative_covers_absolute(self):
+        assert covers(x("a"), x("/a"))
+        assert covers(x("b/c"), x("/a/b/c"))
+
+    def test_paper_tree_examples(self):
+        """Relations visible in the paper's Figure 4 subscription tree."""
+        assert covers(x("/a"), x("/a/b"))
+        assert covers(x("/a/b"), x("/a/b/a"))
+        assert covers(x("/*/b"), x("/*/b//c"))
+        assert covers(x("/a/*/d"), x("/a/b/d"))
+        assert covers(x("/*/b"), x("/a/b"))
+
+
+class TestDesCov:
+    def test_paper_positive_example(self):
+        """§4.2: s1=/*/a//*/c covers s2=/a/a/*//c/e/c/d."""
+        assert des_cov(x("/*/a//*/c"), x("/a/a/*//c/e/c/d"))
+
+    def test_paper_negative_example(self):
+        """§4.2: s1=/*/a//*/c does not cover s2=/a/a/*//c/b/d."""
+        assert not des_cov(x("/*/a//*/c"), x("/a/a/*//c/b/d"))
+
+    def test_paper_wildcard_crossing_example(self):
+        """§4.2 special case: s1=/a/*//*/d covers s2=/a//b/c/d."""
+        assert des_cov(x("/a/*//*/d"), x("/a//b/c/d"))
+
+    def test_segment_cannot_cross_descendant_with_literal(self):
+        # */c cannot cover *//c — the gap may hold anything.
+        assert not des_cov(x("a/*/c"), x("/x/a//c"))
+
+    def test_descendant_covers_child(self):
+        assert des_cov(x("/a//b"), x("/a/b"))
+        assert des_cov(x("/a//b"), x("/a/x/b"))
+        assert des_cov(x("/a//b"), x("/a//x/b"))
+
+    def test_child_does_not_cover_descendant(self):
+        assert not des_cov(x("/a/b"), x("/a//b"))
+
+    def test_descendant_covers_deeper_descendant(self):
+        assert des_cov(x("/a//c"), x("/a//b//c"))
+        assert des_cov(x("//c"), x("/a//c"))
+
+    def test_ordering_required(self):
+        assert not des_cov(x("/a//c//b"), x("/a//b//c"))
+
+    def test_length_precheck(self):
+        assert not des_cov(x("/a/b//c"), x("/a//c"))
+
+    def test_trailing_wildcards_cannot_extend_past_end(self):
+        # Publications may end exactly where s2 ends.
+        assert not des_cov(x("a/*"), x("/x/a"))
+        assert not des_cov(x("/a//b/*"), x("/a//b"))
+
+    def test_mixed_simple_and_descendant(self):
+        assert covers(x("/a"), x("/a//b"))
+        assert covers(x("b"), x("/a//b"))
+        assert covers(x("//b"), x("/a//b"))
+
+
+class TestCoveringImpliesMatchContainment:
+    """Spot-check the semantic definition: s1 covers s2 means every path
+    matching s2 also matches s1."""
+
+    CASES = [
+        ("/a", "/a/b", [("a", "b"), ("a", "b", "c")]),
+        ("/a//d", "/a/b/c/d", [("a", "b", "c", "d"), ("a", "b", "c", "d", "e")]),
+        ("b/c", "/a/b/c", [("a", "b", "c"), ("a", "b", "c", "x")]),
+        ("/a/*//*/d", "/a//b/c/d", [("a", "q", "b", "c", "d"), ("a", "b", "c", "d")]),
+    ]
+
+    @pytest.mark.parametrize("s1,s2,paths", CASES)
+    def test_containment(self, s1, s2, paths):
+        assert covers(x(s1), x(s2))
+        for path in paths:
+            assert matches_path(x(s2), path), "test data must match s2"
+            assert matches_path(x(s1), path)
+
+
+class TestMatchesPath:
+    def test_absolute_prefix(self):
+        assert matches_path(x("/a/b"), ("a", "b", "c"))
+        assert not matches_path(x("/b"), ("a", "b"))
+
+    def test_relative_infix(self):
+        assert matches_path(x("b/c"), ("a", "b", "c", "d"))
+        assert not matches_path(x("c/b"), ("a", "b", "c"))
+
+    def test_wildcards(self):
+        assert matches_path(x("/*/b"), ("a", "b"))
+        assert matches_path(x("*"), ("a",))
+
+    def test_descendants(self):
+        assert matches_path(x("/a//d"), ("a", "b", "c", "d"))
+        assert not matches_path(x("/a//d"), ("a", "b", "c"))
+        assert matches_path(x("//b/c"), ("a", "b", "c"))
+
+    def test_segments_in_order_disjoint(self):
+        assert matches_path(x("a//a"), ("a", "a"))
+        assert not matches_path(x("a//a"), ("x", "a"))
+
+    def test_too_long(self):
+        assert not matches_path(x("/a/b/c"), ("a", "b"))

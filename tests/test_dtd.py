@@ -1,0 +1,181 @@
+"""Unit tests for DTD parsing, the object model and path analysis."""
+
+import pytest
+
+from repro.errors import DTDSyntaxError
+from repro.dtd import (
+    ContentKind,
+    Occurrence,
+    parse_dtd,
+    enumerate_paths,
+    element_positions,
+    is_recursive,
+    recursive_elements,
+    nitf_dtd,
+    psd_dtd,
+)
+
+
+SIMPLE = """
+<!ELEMENT root (a, b?)>
+<!ELEMENT a (#PCDATA)>
+<!ELEMENT b (c*)>
+<!ELEMENT c EMPTY>
+"""
+
+RECURSIVE = """
+<!ELEMENT root (part)>
+<!ELEMENT part (part | leaf)*>
+<!ELEMENT leaf EMPTY>
+"""
+
+
+class TestParser:
+    def test_parses_declarations(self):
+        dtd = parse_dtd(SIMPLE)
+        assert dtd.root == "root"
+        assert set(dtd.element_names()) == {"root", "a", "b", "c"}
+
+    def test_content_kinds(self):
+        dtd = parse_dtd(SIMPLE)
+        assert dtd.declaration("a").kind is ContentKind.PCDATA
+        assert dtd.declaration("c").kind is ContentKind.EMPTY
+        assert dtd.declaration("root").kind is ContentKind.CHILDREN
+
+    def test_child_map(self):
+        dtd = parse_dtd(SIMPLE)
+        cm = dtd.child_map()
+        assert cm["root"] == ("a", "b")
+        assert cm["b"] == ("c",)
+        assert cm["a"] == ()
+
+    def test_mixed_content(self):
+        dtd = parse_dtd("<!ELEMENT p (#PCDATA | em | q)*><!ELEMENT em EMPTY><!ELEMENT q EMPTY>")
+        decl = dtd.declaration("p")
+        assert decl.kind is ContentKind.MIXED
+        assert decl.child_names() == {"em", "q"}
+        assert decl.can_be_leaf()
+
+    def test_any_content(self):
+        dtd = parse_dtd("<!ELEMENT x ANY>")
+        assert dtd.declaration("x").kind is ContentKind.ANY
+
+    def test_comments_and_attlists_skipped(self):
+        dtd = parse_dtd(
+            """
+            <!-- a comment with <!ELEMENT fake (x)> inside -->
+            <!ELEMENT real (#PCDATA)>
+            <!ATTLIST real id CDATA #IMPLIED>
+            """
+        )
+        assert dtd.element_names() == ["real"]
+
+    def test_explicit_root(self):
+        dtd = parse_dtd(SIMPLE, root="b")
+        assert dtd.root == "b"
+
+    def test_duplicate_declaration_rejected(self):
+        with pytest.raises(DTDSyntaxError):
+            parse_dtd("<!ELEMENT a EMPTY><!ELEMENT a EMPTY>")
+
+    def test_unknown_root_rejected(self):
+        with pytest.raises(DTDSyntaxError):
+            parse_dtd(SIMPLE, root="zzz")
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(DTDSyntaxError):
+            parse_dtd("   ")
+
+    def test_mixing_separators_rejected(self):
+        with pytest.raises(DTDSyntaxError):
+            parse_dtd("<!ELEMENT a (b, c | d)><!ELEMENT b EMPTY><!ELEMENT c EMPTY><!ELEMENT d EMPTY>")
+
+    def test_occurrence_parsing(self):
+        dtd = parse_dtd("<!ELEMENT a (b+, c*, d?)><!ELEMENT b EMPTY><!ELEMENT c EMPTY><!ELEMENT d EMPTY>")
+        particle = dtd.declaration("a").particle
+        occurrences = [child.occurrence for child in particle.children]
+        assert occurrences == [Occurrence.PLUS, Occurrence.STAR, Occurrence.OPTIONAL]
+
+    def test_nested_groups(self):
+        dtd = parse_dtd("<!ELEMENT a ((b | c)+, d)><!ELEMENT b EMPTY><!ELEMENT c EMPTY><!ELEMENT d EMPTY>")
+        assert dtd.declaration("a").child_names() == {"b", "c", "d"}
+
+
+class TestLeafAnalysis:
+    def test_all_optional_children_can_be_leaf(self):
+        dtd = parse_dtd("<!ELEMENT a (b?, c*)><!ELEMENT b EMPTY><!ELEMENT c EMPTY>")
+        assert dtd.declaration("a").can_be_leaf()
+
+    def test_required_child_cannot_be_leaf(self):
+        dtd = parse_dtd("<!ELEMENT a (b)><!ELEMENT b EMPTY>")
+        assert not dtd.declaration("a").can_be_leaf()
+
+    def test_choice_with_empty_alternative(self):
+        dtd = parse_dtd("<!ELEMENT a (b | c*)><!ELEMENT b EMPTY><!ELEMENT c EMPTY>")
+        assert dtd.declaration("a").can_be_leaf()
+
+
+class TestRecursion:
+    def test_simple_dtd_not_recursive(self):
+        assert not is_recursive(parse_dtd(SIMPLE))
+
+    def test_self_recursion_detected(self):
+        dtd = parse_dtd(RECURSIVE)
+        assert is_recursive(dtd)
+        assert "part" in recursive_elements(dtd)
+        assert "leaf" not in recursive_elements(dtd)
+
+    def test_mutual_recursion_detected(self):
+        dtd = parse_dtd(
+            "<!ELEMENT r (x)><!ELEMENT x (y?)><!ELEMENT y (x?)>"
+        )
+        assert recursive_elements(dtd) == {"x", "y"}
+
+    def test_samples(self):
+        assert is_recursive(nitf_dtd())
+        assert not is_recursive(psd_dtd())
+        rec = recursive_elements(nitf_dtd())
+        assert "block" in rec and "li" in rec
+
+
+class TestEnumeratePaths:
+    def test_simple_paths(self):
+        paths = enumerate_paths(parse_dtd(SIMPLE))
+        assert ("root", "a") in paths
+        assert ("root", "b") in paths  # b can be childless (c*)
+        assert ("root", "b", "c") in paths
+        assert len(paths) == 3
+
+    def test_recursive_paths_bounded(self):
+        paths = enumerate_paths(parse_dtd(RECURSIVE), max_depth=4)
+        assert ("root", "part", "leaf") in paths
+        assert ("root", "part", "part", "leaf") in paths
+        assert all(len(p) <= 4 for p in paths)
+
+    def test_deterministic(self):
+        dtd = parse_dtd(RECURSIVE)
+        assert enumerate_paths(dtd, 5) == enumerate_paths(dtd, 5)
+
+    def test_psd_path_count_matches_advert_count(self):
+        # For a non-recursive DTD every root-to-leaf path is one advert.
+        from repro.adverts import generate_advertisements
+
+        paths = enumerate_paths(psd_dtd(), max_depth=12)
+        adverts = generate_advertisements(psd_dtd())
+        assert len(paths) == len(adverts)
+
+    def test_element_positions(self):
+        positions = element_positions(enumerate_paths(parse_dtd(SIMPLE)))
+        assert positions[1] == {"root"}
+        assert positions[2] == {"a", "b"}
+        assert positions[3] == {"c"}
+
+
+class TestSampleDTDRatio:
+    def test_advert_ratio_in_paper_ballpark(self):
+        """Paper §5: NITF generates ~35x more advertisements than PSD."""
+        from repro.adverts import generate_advertisements
+
+        nitf_count = len(generate_advertisements(nitf_dtd()))
+        psd_count = len(generate_advertisements(psd_dtd()))
+        assert 25 <= nitf_count / psd_count <= 55

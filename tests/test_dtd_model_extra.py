@@ -1,0 +1,99 @@
+"""Additional DTD model/particle coverage."""
+
+import pytest
+
+from repro.dtd import (
+    ContentKind,
+    Occurrence,
+    Particle,
+    ParticleKind,
+    count_paths,
+    parse_dtd,
+)
+
+
+class TestOccurrence:
+    def test_allows_zero(self):
+        assert Occurrence.OPTIONAL.allows_zero
+        assert Occurrence.STAR.allows_zero
+        assert not Occurrence.ONE.allows_zero
+        assert not Occurrence.PLUS.allows_zero
+
+    def test_allows_many(self):
+        assert Occurrence.STAR.allows_many
+        assert Occurrence.PLUS.allows_many
+        assert not Occurrence.ONE.allows_many
+        assert not Occurrence.OPTIONAL.allows_many
+
+
+class TestParticle:
+    def test_str_round_readable(self):
+        particle = Particle(
+            kind=ParticleKind.SEQUENCE,
+            children=(
+                Particle(kind=ParticleKind.NAME, name="a"),
+                Particle(
+                    kind=ParticleKind.CHOICE,
+                    children=(
+                        Particle(kind=ParticleKind.NAME, name="b"),
+                        Particle(kind=ParticleKind.NAME, name="c"),
+                    ),
+                    occurrence=Occurrence.STAR,
+                ),
+            ),
+            occurrence=Occurrence.PLUS,
+        )
+        text = str(particle)
+        assert text == "(a, (b | c)*)+"
+
+    def test_element_names_nested(self):
+        dtd = parse_dtd(
+            "<!ELEMENT r ((a | (b, c))+, d?)>"
+            "<!ELEMENT a EMPTY><!ELEMENT b EMPTY>"
+            "<!ELEMENT c EMPTY><!ELEMENT d EMPTY>"
+        )
+        assert dtd.declaration("r").child_names() == {"a", "b", "c", "d"}
+
+    def test_can_be_empty_through_choice(self):
+        dtd = parse_dtd(
+            "<!ELEMENT r (a | b*)><!ELEMENT a EMPTY><!ELEMENT b EMPTY>"
+        )
+        assert dtd.declaration("r").can_be_leaf()
+
+    def test_sequence_needs_all_empty(self):
+        dtd = parse_dtd(
+            "<!ELEMENT r (a?, b)><!ELEMENT a EMPTY><!ELEMENT b EMPTY>"
+        )
+        assert not dtd.declaration("r").can_be_leaf()
+
+
+class TestDtdConveniences:
+    def test_contains_and_len(self):
+        dtd = parse_dtd("<!ELEMENT r (a?)><!ELEMENT a EMPTY>")
+        assert "a" in dtd
+        assert "z" not in dtd
+        assert len(dtd) == 2
+
+    def test_count_paths(self):
+        dtd = parse_dtd(
+            "<!ELEMENT r (a?, b?)><!ELEMENT a EMPTY><!ELEMENT b EMPTY>"
+        )
+        # r (leaf-capable), r/a, r/b
+        assert count_paths(dtd) == 3
+
+    def test_undeclared_children_dropped_from_child_map(self):
+        dtd = parse_dtd("<!ELEMENT r (ghost?, a?)><!ELEMENT a EMPTY>")
+        assert dtd.child_map()["r"] == ("a",)
+
+    def test_content_kind_any_is_leaf_capable(self):
+        dtd = parse_dtd("<!ELEMENT r ANY>")
+        decl = dtd.declaration("r")
+        assert decl.kind is ContentKind.ANY
+        assert decl.can_be_leaf()
+        assert decl.child_names() == set()
+
+    def test_root_must_be_declared(self):
+        from repro.dtd.model import DTD
+
+        with pytest.raises(ValueError):
+            DTD(root="nope", elements={})

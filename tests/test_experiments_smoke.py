@@ -1,0 +1,152 @@
+"""Smoke tests for the experiment harness at tiny scales.
+
+Each runner must produce a well-formed result whose qualitative shape
+matches the paper's even at toy sizes (the benchmarks assert the same
+shapes at the recorded scales).
+"""
+
+import os
+
+import pytest
+
+from repro.dtd.samples import nitf_dtd
+from repro.experiments import (
+    ExperimentResult,
+    run_fig6,
+    run_fig7,
+    run_fig9,
+    run_table1,
+    run_traffic_experiment,
+    scaled,
+)
+from repro.experiments.report import result_to_markdown, write_report
+from repro.merging.engine import PathUniverse
+from repro.workloads.datasets import set_a, set_b
+
+
+@pytest.fixture(scope="module")
+def tiny_sets():
+    return set_a(200, seed=41), set_b(200, seed=42)
+
+
+@pytest.fixture(scope="module")
+def universe():
+    return PathUniverse.from_dtd(nitf_dtd(), max_depth=7)
+
+
+class TestRunners:
+    def test_fig6_shape(self, tiny_sets):
+        dataset_a, dataset_b = tiny_sets
+        result = run_fig6(
+            scale=0.002, dataset_a=dataset_a, dataset_b=dataset_b
+        )
+        rows = result.rows()
+        assert len(rows) == 5
+        assert rows[-1]["covering_set_a"] < rows[-1]["covering_set_b"]
+        assert rows[-1]["covering_set_b"] < rows[-1]["no_covering"]
+
+    def test_fig7_shape(self, tiny_sets, universe):
+        _, dataset_b = tiny_sets
+        result = run_fig7(scale=0.002, dataset=dataset_b, universe=universe)
+        last = result.rows()[-1]
+        assert last["imperfect_merging"] <= last["perfect_merging"]
+        assert last["perfect_merging"] <= last["covering"]
+
+    def test_table1_shape(self, tiny_sets, universe):
+        dataset_a, dataset_b = tiny_sets
+        result = run_table1(
+            scale=0.002,
+            documents=4,
+            dataset_a=dataset_a,
+            dataset_b=dataset_b,
+            universe=universe,
+        )
+        rows = {row["method"]: row for row in result.rows()}
+        assert set(rows) == {
+            "No Covering",
+            "Covering",
+            "Perfect Merging",
+            "Imperfect Merging",
+        }
+        assert rows["Covering"]["set_a_ms"] < rows["No Covering"]["set_a_ms"]
+
+    def test_fig9_monotone(self):
+        result = run_fig9(documents=8)
+        fps = [row["false_positive_pct"] for row in result.rows()]
+        assert fps[0] == 0.0
+        assert all(b >= a - 1e-9 for a, b in zip(fps, fps[1:]))
+
+    def test_traffic_experiment_single_strategy(self):
+        result = run_traffic_experiment(
+            levels=2,
+            xpes_per_subscriber=10,
+            documents=2,
+            strategies=["with-Adv-with-Cov"],
+            check_delivery_equivalence=False,
+        )
+        row = result.rows()[0]
+        assert row["network_traffic"] > 0
+        assert row["delay_ms"] is not None
+
+    def test_traffic_experiment_equivalence_enforced(self):
+        # Running two strategies with the check on must not raise.
+        run_traffic_experiment(
+            levels=2,
+            xpes_per_subscriber=8,
+            documents=2,
+            strategies=["no-Adv-no-Cov", "with-Adv-with-Cov"],
+        )
+
+
+class TestScaledHelper:
+    def test_rounding_and_floor(self):
+        assert scaled(100, 0.5) == 50
+        assert scaled(100, 0.0001) == 1
+        assert scaled(100, 0.0001, minimum=7) == 7
+        assert scaled(10, 2.0) == 20
+
+
+class TestResultFormatting:
+    def make_result(self):
+        result = ExperimentResult(
+            name="demo", columns=("a", "b"), notes="note"
+        )
+        result.add_row(a=1, b=None)
+        result.add_row(a=2, b=3.14159)
+        return result
+
+    def test_format_alignment_and_none(self):
+        text = self.make_result().format()
+        assert "demo" in text
+        assert "-" in text  # the None cell
+        assert "3.142" in text
+        assert "note" in text
+
+    def test_markdown_rendering(self):
+        markdown = result_to_markdown(self.make_result())
+        assert markdown.startswith("## demo")
+        assert "| a | b |" in markdown
+        assert "—" in markdown
+
+    def test_column_accessor(self):
+        assert self.make_result().column("a") == [1, 2]
+
+
+class TestReportWriter:
+    def test_write_report(self, tmp_path):
+        result = ExperimentResult(name="one", columns=("x",))
+        result.add_row(x=1)
+        path = os.path.join(str(tmp_path), "report.md")
+        ran = write_report({"one": lambda: result}, path, title="T")
+        assert ran == ["one"]
+        text = open(path).read()
+        assert text.startswith("# T")
+        assert "## one" in text
+
+    def test_unknown_experiment_rejected(self, tmp_path):
+        with pytest.raises(KeyError):
+            write_report(
+                {},
+                os.path.join(str(tmp_path), "r.md"),
+                only=["ghost"],
+            )

@@ -1,0 +1,102 @@
+"""Tests for advertisement-generation internals (cycle regions,
+laminar merging) and generation edge cases."""
+
+import pytest
+
+from repro.adverts.generator import (
+    _build_advertisement,
+    _merge_overlaps,
+    _partially_overlap,
+    generate_advertisements,
+)
+from repro.adverts.model import Lit, Rep
+from repro.dtd import parse_dtd
+
+
+class TestIntervalHandling:
+    def test_partially_overlap(self):
+        assert _partially_overlap((0, 3), (2, 5))
+        assert not _partially_overlap((0, 3), (3, 5))  # disjoint (touching)
+        assert not _partially_overlap((0, 5), (1, 3))  # nested
+        assert not _partially_overlap((1, 3), (0, 5))  # nested, reversed
+
+    def test_merge_overlaps_makes_laminar(self):
+        merged = _merge_overlaps([(0, 3), (2, 5)])
+        assert merged == [(0, 5)]
+
+    def test_merge_keeps_nested(self):
+        merged = _merge_overlaps([(0, 5), (1, 3)])
+        assert sorted(merged) == [(0, 5), (1, 3)]
+
+    def test_merge_chains(self):
+        merged = _merge_overlaps([(0, 2), (1, 4), (3, 6)])
+        assert merged == [(0, 6)]
+
+    def test_merge_drops_duplicates(self):
+        assert _merge_overlaps([(0, 2), (0, 2)]) == [(0, 2)]
+
+
+class TestBuildAdvertisement:
+    def test_plain_path(self):
+        advert = _build_advertisement(("a", "b", "c"), [])
+        assert advert.nodes == (Lit(("a", "b", "c")),)
+
+    def test_single_region(self):
+        advert = _build_advertisement(("a", "b", "c", "d"), [(1, 3)])
+        assert str(advert) == "/a(/b/c)+/d"
+
+    def test_nested_regions(self):
+        advert = _build_advertisement(
+            ("a", "b", "c", "d", "e"), [(1, 4), (2, 3)]
+        )
+        assert str(advert) == "/a(/b(/c)+/d)+/e"
+        assert advert.kind == "embedded-recursive"
+
+    def test_disjoint_regions(self):
+        advert = _build_advertisement(
+            ("a", "b", "c", "d", "e"), [(1, 2), (3, 4)]
+        )
+        assert str(advert) == "/a(/b)+/c(/d)+/e"
+        assert advert.kind == "series-recursive"
+
+    def test_region_at_start(self):
+        advert = _build_advertisement(("a", "b"), [(0, 1)])
+        assert str(advert) == "(/a)+/b"
+        assert isinstance(advert.nodes[0], Rep)
+
+
+class TestGenerationEdgeCases:
+    def test_single_element_dtd(self):
+        dtd = parse_dtd("<!ELEMENT only (#PCDATA)>")
+        adverts = generate_advertisements(dtd)
+        assert [str(a) for a in adverts] == ["/only"]
+
+    def test_self_recursive_root(self):
+        dtd = parse_dtd("<!ELEMENT r (r | leaf)*><!ELEMENT leaf EMPTY>")
+        adverts = {str(a) for a in generate_advertisements(dtd)}
+        assert "/r" in adverts
+        assert "(/r)+/r" in adverts or "/r(/r)+" in adverts or any(
+            "(/r)+" in a for a in adverts
+        )
+        assert any("leaf" in a for a in adverts)
+
+    def test_max_path_length_bounds_output(self):
+        dtd = parse_dtd("<!ELEMENT r (r | leaf)*><!ELEMENT leaf EMPTY>")
+        short = generate_advertisements(dtd, max_path_length=3)
+        for advert in short:
+            assert advert.min_length() <= 3
+
+    def test_deterministic(self):
+        dtd = parse_dtd(
+            "<!ELEMENT r (a*, b?)><!ELEMENT a (b*)><!ELEMENT b EMPTY>"
+        )
+        first = [str(a) for a in generate_advertisements(dtd)]
+        second = [str(a) for a in generate_advertisements(dtd)]
+        assert first == second
+
+    def test_no_duplicate_advertisements(self):
+        from repro.dtd import nitf_dtd
+
+        adverts = generate_advertisements(nitf_dtd())
+        rendered = [str(a) for a in adverts]
+        assert len(rendered) == len(set(rendered))

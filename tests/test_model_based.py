@@ -1,0 +1,98 @@
+"""Model-based end-to-end test.
+
+Drives a random overlay through a random interleaving of subscribe /
+unsubscribe / publish operations (settling the network between
+operations) and checks every delivery against an *oracle*: a global
+table of who is subscribed to what, matched centrally against each
+document.  Any divergence — lost documents, spurious deliveries,
+covering/merging/advertisement bugs — fails the run.
+"""
+
+import random
+
+import pytest
+
+from repro.broker.strategies import RoutingConfig
+from repro.covering.pathmatch import matches_path
+from repro.dtd.samples import psd_dtd
+from repro.merging.engine import PathUniverse
+from repro.network.latency import ConstantLatency
+from repro.network.overlay import Overlay
+from repro.workloads.datasets import psd_queries
+from repro.workloads.document_generator import generate_documents
+
+
+def random_tree_overlay(rng, strategy, universe):
+    """A random tree topology with 3-7 brokers."""
+    overlay = Overlay(
+        config=RoutingConfig.by_name(strategy),
+        latency_model=ConstantLatency(0.001),
+        universe=universe,
+        processing_scale=0.0,
+    )
+    count = rng.randint(3, 7)
+    names = ["b%d" % i for i in range(count)]
+    for name in names:
+        overlay.add_broker(name)
+    for index in range(1, count):
+        parent = names[rng.randrange(index)]
+        overlay.connect(parent, names[index])
+    return overlay, names
+
+
+@pytest.mark.parametrize("strategy", RoutingConfig.ALL_NAMES)
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_random_interleavings_match_oracle(strategy, seed):
+    rng = random.Random(seed * 7919)
+    dtd = psd_dtd()
+    universe = PathUniverse.from_dtd(dtd, max_depth=10)
+    overlay, names = random_tree_overlay(rng, strategy, universe)
+
+    publisher = overlay.attach_publisher("pub", rng.choice(names))
+    publisher.advertise_dtd(dtd)
+    overlay.run()
+
+    queries = list(psd_queries(40, seed=seed).exprs)
+    documents = generate_documents(dtd, 6, seed=seed, target_bytes=900)
+
+    subscribers = {}
+    for index in range(rng.randint(2, 4)):
+        client_id = "sub%d" % index
+        subscribers[client_id] = overlay.attach_subscriber(
+            client_id, rng.choice(names)
+        )
+
+    active = {client_id: set() for client_id in subscribers}
+    expected = {client_id: set() for client_id in subscribers}
+
+    for _op in range(30):
+        action = rng.random()
+        client_id = rng.choice(sorted(subscribers))
+        client = subscribers[client_id]
+        if action < 0.45:
+            expr = rng.choice(queries)
+            if expr not in active[client_id]:
+                client.subscribe(expr)
+                active[client_id].add(expr)
+        elif action < 0.6 and active[client_id]:
+            expr = rng.choice(sorted(active[client_id], key=str))
+            client.unsubscribe(expr)
+            active[client_id].discard(expr)
+        else:
+            doc = rng.choice(documents)
+            overlay.run()  # subscriptions settle before the publish
+            publisher.publish_document(doc)
+            for sid, exprs in active.items():
+                if any(
+                    matches_path(expr, path)
+                    for path in doc.paths()
+                    for expr in exprs
+                ):
+                    expected[sid].add(doc.doc_id)
+        overlay.run()
+
+    overlay.run()
+    for client_id, client in subscribers.items():
+        assert client.delivered_documents() == expected[client_id], (
+            "strategy %s, seed %d, client %s" % (strategy, seed, client_id)
+        )

@@ -1,0 +1,198 @@
+"""Unit tests for the simulator, latency models, stats and overlay."""
+
+import pytest
+
+from repro.errors import RoutingError, TopologyError
+from repro.network import (
+    ClusterLatency,
+    ConstantLatency,
+    Overlay,
+    PlanetLabLatency,
+    Simulator,
+)
+from repro.network.stats import DeliveryRecord, NetworkStats
+
+
+class TestSimulator:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(2.0, lambda: order.append("late"))
+        sim.schedule(1.0, lambda: order.append("early"))
+        sim.run()
+        assert order == ["early", "late"]
+
+    def test_fifo_for_equal_times(self):
+        sim = Simulator()
+        order = []
+        for i in range(5):
+            sim.schedule(1.0, lambda i=i: order.append(i))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_clock_advances(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(0.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [0.5]
+        assert sim.now == 0.5
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: sim.schedule(1.0, lambda: seen.append(sim.now)))
+        sim.run()
+        assert seen == [2.0]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_until_bound(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: seen.append(1))
+        sim.schedule(3.0, lambda: seen.append(3))
+        sim.run(until=2.0)
+        assert seen == [1]
+        assert sim.pending() == 1
+
+    def test_max_events_bound(self):
+        sim = Simulator()
+        def reschedule():
+            sim.schedule(1.0, reschedule)
+        sim.schedule(1.0, reschedule)
+        processed = sim.run(max_events=10)
+        assert processed == 10
+
+
+class TestLatencyModels:
+    def test_constant(self):
+        model = ConstantLatency(0.25)
+        assert model.latency("a", "b", 10_000) == 0.25
+
+    def test_cluster_scales_with_size(self):
+        model = ClusterLatency(jitter_fraction=0.0)
+        small = model.latency("a", "b", 64)
+        large = model.latency("a", "b", 10_000_000)
+        assert large > small
+
+    def test_planetlab_link_base_is_stable(self):
+        model = PlanetLabLatency(seed=1, jitter_fraction=0.0)
+        assert model.link_base("x", "y") == model.link_base("x", "y")
+
+    def test_planetlab_symmetric_links(self):
+        model = PlanetLabLatency(seed=2)
+        assert model.link_base("x", "y") == model.link_base("y", "x")
+
+    def test_planetlab_wan_slower_than_cluster(self):
+        wan = PlanetLabLatency(seed=3, jitter_fraction=0.0)
+        lan = ClusterLatency(jitter_fraction=0.0)
+        assert wan.latency("a", "b", 2048) > lan.latency("a", "b", 2048)
+
+    def test_planetlab_bad_range_rejected(self):
+        with pytest.raises(ValueError):
+            PlanetLabLatency(min_base_seconds=0.2, max_base_seconds=0.1)
+
+
+class TestNetworkStats:
+    def test_traffic_accounting(self):
+        stats = NetworkStats()
+        stats.record_broker_message("b1", "PublishMsg")
+        stats.record_broker_message("b2", "SubscribeMsg")
+        assert stats.network_traffic == 2
+        assert stats.traffic_of_kind("PublishMsg") == 1
+
+    def test_first_delivery_wins(self):
+        stats = NetworkStats()
+        late = DeliveryRecord("s", "d", 1, issued_at=0.0, delivered_at=2.0, hops=3)
+        early = DeliveryRecord("s", "d", 0, issued_at=0.0, delivered_at=1.0, hops=3)
+        stats.record_delivery(late)
+        stats.record_delivery(early)
+        firsts = stats.delivered_documents()
+        assert firsts[("s", "d")].delivered_at == 1.0
+        assert stats.mean_notification_delay() == 1.0
+
+    def test_delays_by_hops(self):
+        stats = NetworkStats()
+        stats.record_delivery(
+            DeliveryRecord("s", "d1", 0, issued_at=0.0, delivered_at=1.0, hops=2)
+        )
+        stats.record_delivery(
+            DeliveryRecord("s", "d2", 0, issued_at=0.0, delivered_at=3.0, hops=4)
+        )
+        grouped = stats.delays_by_hops()
+        assert grouped == {2: [1.0], 4: [3.0]}
+
+    def test_empty_stats(self):
+        stats = NetworkStats()
+        assert stats.mean_notification_delay() is None
+        assert stats.summary()["network_traffic"] == 0
+
+
+class TestOverlayTopology:
+    def test_binary_tree_shape(self):
+        overlay = Overlay.binary_tree(3)
+        assert len(overlay.brokers) == 7
+        assert len(overlay.links) == 6
+        assert overlay.leaf_brokers() == ["b4", "b5", "b6", "b7"]
+
+    def test_duplicate_broker_rejected(self):
+        overlay = Overlay()
+        overlay.add_broker("b1")
+        with pytest.raises(TopologyError):
+            overlay.add_broker("b1")
+
+    def test_duplicate_link_rejected(self):
+        overlay = Overlay()
+        overlay.add_broker("a")
+        overlay.add_broker("b")
+        overlay.connect("a", "b")
+        with pytest.raises(TopologyError):
+            overlay.connect("b", "a")
+
+    def test_unknown_broker_link_rejected(self):
+        overlay = Overlay()
+        overlay.add_broker("a")
+        with pytest.raises(TopologyError):
+            overlay.connect("a", "zzz")
+
+    def test_duplicate_client_rejected(self):
+        overlay = Overlay.binary_tree(2)
+        overlay.attach_subscriber("c", "b1")
+        with pytest.raises(TopologyError):
+            overlay.attach_publisher("c", "b2")
+
+    def test_unknown_client_submission(self):
+        overlay = Overlay.binary_tree(2)
+        from repro.broker.messages import SubscribeMsg
+        from repro.xpath import parse_xpath
+
+        with pytest.raises(RoutingError):
+            overlay.submit("ghost", SubscribeMsg(expr=parse_xpath("/a")))
+
+    def test_tree_needs_a_level(self):
+        with pytest.raises(TopologyError):
+            Overlay.binary_tree(0)
+
+
+class TestAcyclicity:
+    def test_cycle_creating_link_rejected(self):
+        overlay = Overlay()
+        for name in ("a", "b", "c"):
+            overlay.add_broker(name)
+        overlay.connect("a", "b")
+        overlay.connect("b", "c")
+        with pytest.raises(TopologyError):
+            overlay.connect("c", "a")
+
+    def test_disconnected_components_may_join(self):
+        overlay = Overlay()
+        for name in ("a", "b", "c", "d"):
+            overlay.add_broker(name)
+        overlay.connect("a", "b")
+        overlay.connect("c", "d")
+        overlay.connect("b", "c")  # joins the components: fine
+        assert len(overlay.links) == 3

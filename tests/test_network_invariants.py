@@ -1,0 +1,164 @@
+"""Integration tests: overlay routing correctness across strategies.
+
+The central invariant (DESIGN.md §5): for any workload and topology,
+every routing strategy delivers exactly the same (subscriber, document)
+set as flooding — the optimisations change traffic, never delivery.
+"""
+
+import random
+
+import pytest
+
+from repro.broker.strategies import RoutingConfig
+from repro.dtd.samples import psd_dtd
+from repro.merging.engine import PathUniverse
+from repro.network.latency import ConstantLatency
+from repro.network.overlay import Overlay
+from repro.workloads.datasets import psd_queries
+from repro.workloads.document_generator import generate_documents
+
+
+def build_overlay(strategy, levels=3, universe=None):
+    return Overlay.binary_tree(
+        levels,
+        config=RoutingConfig.by_name(strategy),
+        latency_model=ConstantLatency(0.001),
+        universe=universe,
+        processing_scale=0.0,
+    )
+
+
+def run_workload(overlay, dtd, n_queries=40, n_docs=6, seed=3,
+                 publisher_broker="b2", subscribe_first=False):
+    subscribers = []
+    for index, leaf in enumerate(overlay.leaf_brokers()):
+        subscribers.append(
+            (overlay.attach_subscriber("sub%d" % index, leaf), index)
+        )
+    publisher = overlay.attach_publisher("pub", publisher_broker)
+
+    def do_subscribe():
+        for sub, index in subscribers:
+            queries = psd_queries(n_queries, seed=seed * 100 + index)
+            for expr in queries.exprs:
+                sub.subscribe(expr)
+        overlay.run()
+
+    def do_advertise():
+        if overlay.config.advertisements:
+            publisher.advertise_dtd(dtd)
+            overlay.run()
+
+    if subscribe_first:
+        do_subscribe()
+        do_advertise()
+    else:
+        do_advertise()
+        do_subscribe()
+
+    docs = generate_documents(dtd, n_docs, seed=seed, target_bytes=1024)
+    for doc in docs:
+        publisher.publish_document(doc)
+    overlay.run()
+    return overlay.delivered_map()
+
+
+class TestDeliveryEquivalence:
+    @pytest.fixture(scope="class")
+    def baseline(self):
+        dtd = psd_dtd()
+        overlay = build_overlay("no-Adv-no-Cov")
+        return run_workload(overlay, dtd)
+
+    @pytest.mark.parametrize("strategy", RoutingConfig.ALL_NAMES[1:])
+    def test_strategy_delivers_like_flooding(self, baseline, strategy):
+        dtd = psd_dtd()
+        universe = PathUniverse.from_dtd(dtd, max_depth=10)
+        overlay = build_overlay(strategy, universe=universe)
+        delivered = run_workload(overlay, dtd)
+        assert delivered == baseline
+
+    def test_baseline_actually_delivers_something(self, baseline):
+        assert any(docs for docs in baseline.values())
+
+    def test_subscribe_before_advertise_equivalent(self, baseline):
+        """Subscription replay on advertisement arrival makes message
+        order irrelevant."""
+        dtd = psd_dtd()
+        overlay = build_overlay("with-Adv-with-Cov")
+        delivered = run_workload(overlay, dtd, subscribe_first=True)
+        assert delivered == baseline
+
+
+class TestTrafficOrdering:
+    def test_covering_reduces_subscription_traffic(self):
+        """With many overlapping subscriptions, covering must lower the
+        subscription message count."""
+        dtd = psd_dtd()
+
+        def traffic(strategy):
+            overlay = build_overlay(strategy)
+            run_workload(overlay, dtd, n_queries=80, n_docs=2, seed=6)
+            return overlay.stats.traffic_of_kind("SubscribeMsg")
+
+        assert traffic("no-Adv-with-Cov") < traffic("no-Adv-no-Cov")
+
+    def test_advertisements_restrict_subscription_spread(self):
+        """Subscriptions must not travel beyond paths toward publishers
+        when advertisement-based routing is on (with enough
+        subscriptions to amortise the advertisement flood)."""
+        dtd = psd_dtd()
+
+        def sub_traffic(strategy):
+            overlay = build_overlay(strategy, levels=4)
+            run_workload(
+                overlay, dtd, n_queries=60, n_docs=1, seed=8,
+                publisher_broker="b8",
+            )
+            return overlay.stats.traffic_of_kind("SubscribeMsg")
+
+        assert sub_traffic("with-Adv-no-Cov") < sub_traffic("no-Adv-no-Cov")
+
+
+class TestUnsubscribeFlow:
+    def test_unsubscribe_stops_delivery(self):
+        dtd = psd_dtd()
+        overlay = build_overlay("with-Adv-with-Cov")
+        sub = overlay.attach_subscriber("s", overlay.leaf_brokers()[0])
+        publisher = overlay.attach_publisher("pub", "b1")
+        publisher.advertise_dtd(dtd)
+        overlay.run()
+        sub.subscribe("/ProteinDatabase//sequence")
+        overlay.run()
+        docs = generate_documents(dtd, 2, seed=5, target_bytes=800)
+        publisher.publish_document(docs[0])
+        overlay.run()
+        delivered_before = set(sub.delivered_documents())
+        sub.unsubscribe("/ProteinDatabase//sequence")
+        overlay.run()
+        publisher.publish_document(docs[1])
+        overlay.run()
+        assert set(sub.delivered_documents()) == delivered_before
+
+    def test_covered_subscription_survives_coverer_removal(self):
+        """s2 covered by s1; when s1 unsubscribes, s2 must still get
+        documents (promotion re-forwards it)."""
+        dtd = psd_dtd()
+        overlay = build_overlay("with-Adv-with-Cov")
+        leaves = overlay.leaf_brokers()
+        s1 = overlay.attach_subscriber("s1", leaves[0])
+        s2 = overlay.attach_subscriber("s2", leaves[0])
+        publisher = overlay.attach_publisher("pub", "b1")
+        publisher.advertise_dtd(dtd)
+        overlay.run()
+        s1.subscribe("/ProteinDatabase")
+        overlay.run()
+        s2.subscribe("/ProteinDatabase/ProteinEntry/keywords/keyword")
+        overlay.run()
+        s1.unsubscribe("/ProteinDatabase")
+        overlay.run()
+        docs = generate_documents(dtd, 1, seed=5, target_bytes=800)
+        publisher.publish_document(docs[0])
+        overlay.run()
+        assert docs[0].doc_id in s2.delivered_documents()
+        assert docs[0].doc_id not in s1.delivered_documents()

@@ -1,0 +1,127 @@
+"""Tests for broker snapshot/restore."""
+
+import pytest
+
+from repro.adverts import Advertisement, simple_recursive
+from repro.broker import (
+    AdvertiseMsg,
+    Broker,
+    PublishMsg,
+    RoutingConfig,
+    SubscribeMsg,
+)
+from repro.broker.persistence import (
+    PersistenceError,
+    restore,
+    restore_json,
+    snapshot,
+    snapshot_json,
+)
+from repro.xmldoc import Publication
+from repro.xpath import parse_xpath
+
+
+def x(text):
+    return parse_xpath(text)
+
+
+def populated_broker(config=None):
+    broker = Broker("b1", config=config or RoutingConfig.with_adv_with_cov())
+    broker.connect("n1")
+    broker.connect("n2")
+    broker.attach_client("c1")
+    broker.handle(
+        AdvertiseMsg(
+            adv_id="a1",
+            advert=Advertisement.from_tests(("x", "y", "z")),
+            publisher_id="pub",
+        ),
+        "n1",
+    )
+    broker.handle(
+        AdvertiseMsg(
+            adv_id="a2",
+            advert=simple_recursive(("x",), ("w",), ("q",)),
+            publisher_id="pub",
+        ),
+        "n2",
+    )
+    broker.handle(SubscribeMsg(expr=x("/x/y"), subscriber_id="c1"), "c1")
+    broker.handle(SubscribeMsg(expr=x("/x"), subscriber_id="c1"), "c1")
+    broker.handle(SubscribeMsg(expr=x("//w"), subscriber_id="s"), "n2")
+    return broker
+
+
+def publish(broker, path, doc_id="d"):
+    out = broker.handle(
+        PublishMsg(
+            publication=Publication(doc_id=doc_id, path_id=0, path=path),
+            publisher_id="pub",
+        ),
+        "n1",
+    )
+    # Message ids are process-unique; compare routing decisions only.
+    return sorted(
+        (str(dest), type(msg).__name__, str(msg.publication))
+        for dest, msg in out
+    )
+
+
+class TestRoundTrip:
+    def test_snapshot_restore_preserves_routing(self):
+        original = populated_broker()
+        rebuilt = restore(snapshot(original))
+        for path in (("x", "y"), ("x",), ("x", "w", "q"), ("q",)):
+            assert publish(original, path) == publish(rebuilt, path), path
+
+    def test_json_round_trip(self):
+        original = populated_broker()
+        rebuilt = restore_json(snapshot_json(original))
+        assert rebuilt.broker_id == "b1"
+        assert rebuilt.neighbors == original.neighbors
+        assert rebuilt.routing_table_size() == original.routing_table_size()
+
+    def test_forwarded_state_preserved(self):
+        original = populated_broker()
+        rebuilt = restore(snapshot(original))
+        for expr in original.forwarded.exprs():
+            assert rebuilt.forwarded.neighbors_for(
+                expr
+            ) == original.forwarded.neighbors_for(expr)
+
+    def test_subscription_handling_continues(self):
+        """A restored broker keeps making correct covering decisions."""
+        original = populated_broker()
+        rebuilt = restore(snapshot(original))
+        out = rebuilt.handle(
+            SubscribeMsg(expr=x("/x/y/z"), subscriber_id="c1"), "c1"
+        )
+        # /x already forwarded to n1: the covered /x/y/z stays quiet.
+        assert out == []
+
+    def test_recursive_advertisement_survives(self):
+        original = populated_broker()
+        rebuilt = restore(snapshot(original))
+        entry = [e for e in rebuilt.srt.entries() if e.adv_id == "a2"][0]
+        assert str(entry.advert) == "/x(/w)+/q"
+
+    def test_non_covering_config(self):
+        original = populated_broker(config=RoutingConfig.no_adv_no_cov())
+        rebuilt = restore(snapshot(original))
+        assert not rebuilt.config.covering
+        assert publish(original, ("x", "y")) == publish(rebuilt, ("x", "y"))
+
+    def test_client_subs_preserved(self):
+        original = populated_broker()
+        rebuilt = restore(snapshot(original))
+        assert rebuilt.client_subs["c1"] == original.client_subs["c1"]
+
+
+class TestErrors:
+    def test_malformed_snapshot(self):
+        with pytest.raises(PersistenceError):
+            restore({"broker_id": "b"})
+
+    def test_malformed_json(self):
+        with pytest.raises(PersistenceError):
+            restore_json("{not json")

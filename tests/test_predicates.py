@@ -1,0 +1,268 @@
+"""Tests for the attribute-predicate extension.
+
+The paper defers attributes and content to its companion matcher [16]
+("our approach could be easily extended to element attributes and
+content ... through value comparison"); this implements and verifies
+that extension end to end: parsing, publication matching, covering,
+edge delivery and the wire format.
+"""
+
+import pytest
+
+from repro.covering import SubscriptionTree, covers, matches_path
+from repro.errors import XPathSyntaxError
+from repro.network.wire import decode, encode
+from repro.broker.messages import PublishMsg, SubscribeMsg
+from repro.xmldoc import Publication, XMLDocument
+from repro.xpath import Predicate, PredicateOp, parse_xpath
+
+
+def x(text):
+    return parse_xpath(text)
+
+
+class TestParsing:
+    def test_exists_predicate(self):
+        expr = x("/claims/claim[@urgent]")
+        step = expr.steps[1]
+        assert step.predicates == (
+            Predicate(name="urgent", op=PredicateOp.EXISTS),
+        )
+
+    def test_equality_predicate(self):
+        expr = x("/claim[@lang='de']")
+        assert expr.steps[0].predicates[0] == Predicate(
+            name="lang", op=PredicateOp.EQ, value="de"
+        )
+
+    def test_inequality_predicate(self):
+        expr = x("/claim[@lang!='en']")
+        assert expr.steps[0].predicates[0].op is PredicateOp.NE
+
+    def test_double_quotes(self):
+        expr = x('/claim[@lang="de"]')
+        assert expr.steps[0].predicates[0].value == "de"
+
+    def test_multiple_predicates_one_step(self):
+        expr = x("/claim[@lang='de'][@urgent]")
+        assert len(expr.steps[0].predicates) == 2
+
+    def test_round_trip(self):
+        for text in (
+            "/claims/claim[@urgent]",
+            "/claim[@lang='de']/amount",
+            "//bid[@region='NA'][@line]",
+            "claim[@a!='b']",
+        ):
+            assert str(x(text)) == text
+            assert x(str(x(text))) == x(text)
+
+    def test_predicates_affect_equality(self):
+        assert x("/a[@p]") != x("/a")
+        assert x("/a[@p='1']") != x("/a[@p='2']")
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "/a[",
+            "/a[]",
+            "/a[@]",
+            "/a[@n",
+            "/a[@n='v'",
+            "/a[@n=v]",
+            "/a[@n!'v']",
+            "/a[n]",
+        ],
+    )
+    def test_malformed_predicates_rejected(self, bad):
+        with pytest.raises(XPathSyntaxError):
+            x(bad)
+
+
+class TestPathMatching:
+    PATH = ("claims", "claim", "amount")
+    ATTRS = ({}, {"lang": "de", "urgent": "1"}, {})
+
+    def test_exists(self):
+        assert matches_path(x("/claims/claim[@urgent]"), self.PATH, self.ATTRS)
+        assert not matches_path(x("/claims/claim[@zzz]"), self.PATH, self.ATTRS)
+
+    def test_equality(self):
+        assert matches_path(x("/claims/claim[@lang='de']"), self.PATH, self.ATTRS)
+        assert not matches_path(
+            x("/claims/claim[@lang='en']"), self.PATH, self.ATTRS
+        )
+
+    def test_inequality(self):
+        assert matches_path(x("/claims/claim[@lang!='en']"), self.PATH, self.ATTRS)
+        assert not matches_path(
+            x("/claims/claim[@lang!='de']"), self.PATH, self.ATTRS
+        )
+        # Inequality requires the attribute to be present.
+        assert not matches_path(x("/claims[@lang!='de']"), self.PATH, self.ATTRS)
+
+    def test_missing_attribute_annotation_fails_predicates(self):
+        assert not matches_path(x("/claims/claim[@urgent]"), self.PATH, None)
+        assert matches_path(x("/claims/claim"), self.PATH, None)
+
+    def test_relative_with_predicates(self):
+        assert matches_path(x("claim[@urgent]/amount"), self.PATH, self.ATTRS)
+
+    def test_wildcard_with_predicate(self):
+        assert matches_path(x("/claims/*[@urgent]"), self.PATH, self.ATTRS)
+
+
+class TestCovering:
+    def test_unconstrained_covers_predicated(self):
+        assert covers(x("/a/b"), x("/a/b[@p]"))
+        assert covers(x("/a/b"), x("/a/b[@p='1']"))
+
+    def test_predicated_does_not_cover_unconstrained(self):
+        assert not covers(x("/a/b[@p]"), x("/a/b"))
+
+    def test_exists_covers_equality(self):
+        assert covers(x("/a/b[@p]"), x("/a/b[@p='1']"))
+        assert not covers(x("/a/b[@p='1']"), x("/a/b[@p]"))
+
+    def test_equal_predicates_cover(self):
+        assert covers(x("/a/b[@p='1']"), x("/a/b[@p='1']"))
+
+    def test_different_values_do_not_cover(self):
+        assert not covers(x("/a/b[@p='1']"), x("/a/b[@p='2']"))
+
+    def test_ne_covered_by_different_eq(self):
+        # Every element with p=2 satisfies p!=1.
+        assert covers(x("/a/b[@p!='1']"), x("/a/b[@p='2']"))
+        assert not covers(x("/a/b[@p!='1']"), x("/a/b[@p='1']"))
+
+    def test_prefix_covering_with_predicates(self):
+        assert covers(x("/a[@p]"), x("/a[@p]/b/c"))
+
+    def test_relative_predicated_covering(self):
+        assert covers(x("b[@p]"), x("/a/b[@p='1']/c"))
+
+    def test_conservative_for_descendant_shapes(self):
+        # Sound fallback: a predicated coverer with // only covers
+        # itself.
+        assert covers(x("/a[@p]//b"), x("/a[@p]//b"))
+        assert not covers(x("/a[@p]//b"), x("/a[@p]/x/b"))
+
+    def test_tree_insertion_with_predicates(self):
+        tree = SubscriptionTree()
+        tree.insert(x("/a/b"), 1)
+        outcome = tree.insert(x("/a/b[@p='1']"), 2)
+        assert outcome.covered
+        tree.validate()
+
+
+class TestEndToEnd:
+    DOC = """
+    <claims>
+      <claim lang="de" urgent="1"><amount>100</amount></claim>
+      <claim lang="en"><amount>200</amount></claim>
+    </claims>
+    """
+
+    def test_document_attributes_decomposed(self):
+        doc = XMLDocument.parse(self.DOC, doc_id="d")
+        pubs = doc.publications()
+        assert pubs[0].attribute_maps()[1] == {"lang": "de", "urgent": "1"}
+        assert pubs[1].attribute_maps()[1] == {"lang": "en"}
+
+    def test_broker_routes_on_predicates(self):
+        from repro.broker import Broker, RoutingConfig
+
+        broker = Broker("b1", config=RoutingConfig.no_adv_no_cov())
+        broker.attach_client("german")
+        broker.attach_client("all")
+        broker.handle(
+            SubscribeMsg(
+                expr=x("/claims/claim[@lang='de']"), subscriber_id="german"
+            ),
+            "german",
+        )
+        broker.handle(
+            SubscribeMsg(expr=x("/claims/claim"), subscriber_id="all"),
+            "all",
+        )
+        doc = XMLDocument.parse(self.DOC, doc_id="d")
+        deliveries = set()
+        for pub in doc.publications():
+            out = broker.handle(
+                PublishMsg(publication=pub, publisher_id="p"), "upstream"
+            )
+            deliveries |= {dest for dest, _ in out}
+        assert deliveries == {"german", "all"}
+
+        # The English-only claim must not reach the German desk.
+        doc_en = XMLDocument.parse(
+            "<claims><claim lang='en'><amount>5</amount></claim></claims>",
+            doc_id="d2",
+        )
+        for pub in doc_en.publications():
+            out = broker.handle(
+                PublishMsg(publication=pub, publisher_id="p"), "upstream"
+            )
+            assert {dest for dest, _ in out} == {"all"}
+
+    def test_wire_round_trip_with_attributes(self):
+        doc = XMLDocument.parse(self.DOC, doc_id="d")
+        pub = doc.publications()[0]
+        msg = PublishMsg(publication=pub, publisher_id="p")
+        decoded = decode(encode(msg))
+        assert decoded.publication == pub
+
+    def test_wire_round_trip_predicated_subscription(self):
+        msg = SubscribeMsg(expr=x("/claims/claim[@lang='de']"))
+        assert decode(encode(msg)).expr == msg.expr
+
+
+class TestTextPredicates:
+    """The text() half of the value-comparison extension."""
+
+    DOC = """
+    <claims>
+      <claim><amount currency="EUR">2400000</amount></claim>
+      <claim><amount currency="USD">1200</amount></claim>
+    </claims>
+    """
+
+    def test_parse_and_round_trip(self):
+        for text in (
+            "/claims/claim/amount[text()='100']",
+            "//amount[text()!='0']",
+            "/a/b[@p='1'][text()='v']",
+        ):
+            assert str(x(text)) == text
+
+    def test_text_exists_rejected(self):
+        with pytest.raises(XPathSyntaxError):
+            x("/a[text()]")
+
+    def test_match_on_text_content(self):
+        doc = XMLDocument.parse(self.DOC, doc_id="d")
+        pubs = doc.publications()
+        big = x("//amount[text()='2400000']")
+        assert matches_path(big, pubs[0].path, pubs[0].attribute_maps())
+        assert not matches_path(big, pubs[1].path, pubs[1].attribute_maps())
+
+    def test_text_and_attribute_combined(self):
+        doc = XMLDocument.parse(self.DOC, doc_id="d")
+        pubs = doc.publications()
+        expr = x("//amount[@currency='USD'][text()='1200']")
+        assert not matches_path(expr, pubs[0].path, pubs[0].attribute_maps())
+        assert matches_path(expr, pubs[1].path, pubs[1].attribute_maps())
+
+    def test_text_covering(self):
+        assert covers(x("/a/b"), x("/a/b[text()='v']"))
+        assert not covers(x("/a/b[text()='v']"), x("/a/b"))
+        assert covers(x("/a/b[text()!='w']"), x("/a/b[text()='v']"))
+
+    def test_wire_round_trip(self):
+        msg = SubscribeMsg(expr=x("//amount[text()='5']"))
+        assert decode(encode(msg)).expr == msg.expr
+
+    def test_whitespace_stripped_from_text(self):
+        doc = XMLDocument.parse("<a><b>  padded  </b></a>", doc_id="d")
+        pub = doc.publications()[0]
+        assert pub.attribute_maps()[1] == {"#text": "padded"}

@@ -1,0 +1,64 @@
+"""Broker restart in a running overlay (persistence in situ)."""
+
+from repro.broker.strategies import RoutingConfig
+from repro.dtd.samples import psd_dtd
+from repro.network import ConstantLatency, Overlay
+from repro.workloads.document_generator import generate_documents
+
+import pytest
+
+from repro.errors import TopologyError
+
+
+def overlay_with_traffic():
+    overlay = Overlay.binary_tree(
+        2,
+        config=RoutingConfig.with_adv_with_cov(),
+        latency_model=ConstantLatency(0.001),
+    )
+    publisher = overlay.attach_publisher("pub", "b2")
+    subscriber = overlay.attach_subscriber("sub", "b3")
+    publisher.advertise_dtd(psd_dtd())
+    overlay.run()
+    subscriber.subscribe("/ProteinDatabase")
+    overlay.run()
+    return overlay, publisher, subscriber
+
+
+def publish_round(overlay, publisher, seed):
+    docs = generate_documents(psd_dtd(), 1, seed=seed, target_bytes=600)
+    publisher.publish_document(docs[0])
+    overlay.run()
+    return docs[0].doc_id
+
+
+class TestRestart:
+    def test_stateful_restart_preserves_delivery(self):
+        overlay, publisher, subscriber = overlay_with_traffic()
+        first = publish_round(overlay, publisher, seed=1)
+        assert first in subscriber.delivered_documents()
+
+        # Restart the root broker (on the path b2 -> b1 -> b3).
+        overlay.restart_broker("b1", with_state=True)
+        second = publish_round(overlay, publisher, seed=2)
+        assert second in subscriber.delivered_documents()
+
+    def test_cold_restart_loses_routing_state(self):
+        """The negative control: an empty-restarted broker drops
+        in-flight routing state, so deliveries stop — exactly the
+        failure persistence prevents."""
+        overlay, publisher, subscriber = overlay_with_traffic()
+        overlay.restart_broker("b1", with_state=False)
+        lost = publish_round(overlay, publisher, seed=3)
+        assert lost not in subscriber.delivered_documents()
+
+    def test_restart_unknown_broker(self):
+        overlay, _, _ = overlay_with_traffic()
+        with pytest.raises(TopologyError):
+            overlay.restart_broker("ghost")
+
+    def test_restarted_broker_keeps_identity_and_links(self):
+        overlay, _, _ = overlay_with_traffic()
+        replacement = overlay.restart_broker("b1")
+        assert replacement.broker_id == "b1"
+        assert replacement.neighbors == {"b2", "b3"}

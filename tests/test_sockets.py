@@ -1,0 +1,151 @@
+"""Integration tests: brokers over real TCP sockets.
+
+The same routing layer the simulator exercises in-process runs here
+over localhost connections with the JSON wire protocol — the runnable
+equivalent of the paper's cluster/PlanetLab deployment.
+"""
+
+import pytest
+
+from repro.adverts import Advertisement
+from repro.broker.messages import AdvertiseMsg, PublishMsg, SubscribeMsg
+from repro.broker.strategies import RoutingConfig
+from repro.network.sockets import LocalDeployment
+from repro.xmldoc import Publication
+from repro.xpath import parse_xpath
+
+
+@pytest.fixture
+def chain():
+    deployment = LocalDeployment(config=RoutingConfig.with_adv_with_cov())
+    for name in ("b1", "b2", "b3"):
+        deployment.add_broker(name)
+    deployment.link("b1", "b2")
+    deployment.link("b2", "b3")
+    deployment.start()
+    yield deployment
+    deployment.stop()
+
+
+def test_end_to_end_over_tcp(chain):
+    publisher = chain.publisher("pub", "b1")
+    subscriber = chain.subscriber("sub", "b3")
+
+    publisher.submit(
+        AdvertiseMsg(
+            adv_id="adv1",
+            advert=Advertisement.from_tests(("claims", "claim", "amount")),
+            publisher_id="pub",
+        )
+    )
+    assert chain.settle(timeout=5.0)
+
+    subscriber.submit(
+        SubscribeMsg(expr=parse_xpath("/claims//amount"), subscriber_id="sub")
+    )
+    assert chain.settle(timeout=5.0)
+
+    publisher.submit(
+        PublishMsg(
+            publication=Publication(
+                doc_id="c-1", path_id=0, path=("claims", "claim", "amount")
+            ),
+            publisher_id="pub",
+        )
+    )
+    assert chain.settle(timeout=5.0)
+    assert subscriber.delivered_documents() == {"c-1"}
+
+
+def test_non_matching_publication_not_delivered(chain):
+    publisher = chain.publisher("pub", "b1")
+    subscriber = chain.subscriber("sub", "b3")
+
+    publisher.submit(
+        AdvertiseMsg(
+            adv_id="adv1",
+            advert=Advertisement.from_tests(("claims", "claim", "amount")),
+            publisher_id="pub",
+        )
+    )
+    chain.settle(timeout=5.0)
+    subscriber.submit(
+        SubscribeMsg(expr=parse_xpath("/claims/claim/policy"), subscriber_id="sub")
+    )
+    chain.settle(timeout=5.0)
+    publisher.submit(
+        PublishMsg(
+            publication=Publication(
+                doc_id="c-2", path_id=0, path=("claims", "claim", "amount")
+            ),
+            publisher_id="pub",
+        )
+    )
+    chain.settle(timeout=5.0)
+    assert subscriber.delivered_documents() == set()
+
+
+def test_subscription_travels_only_toward_advertiser(chain):
+    """With advertisement-based routing, b3's subscription reaches b1
+    via b2; brokers store it along the way."""
+    publisher = chain.publisher("pub", "b1")
+    subscriber = chain.subscriber("sub", "b3")
+    publisher.submit(
+        AdvertiseMsg(
+            adv_id="adv1",
+            advert=Advertisement.from_tests(("a", "b")),
+            publisher_id="pub",
+        )
+    )
+    chain.settle(timeout=5.0)
+    subscriber.submit(
+        SubscribeMsg(expr=parse_xpath("/a"), subscriber_id="sub")
+    )
+    chain.settle(timeout=5.0)
+    assert chain.nodes["b1"].broker.routing_table_size() == 1
+    assert chain.nodes["b2"].broker.routing_table_size() == 1
+
+
+class TestRobustness:
+    def test_garbage_handshake_is_ignored(self, chain):
+        """A peer that fails the handshake must not crash the node."""
+        import socket
+
+        node = chain.nodes["b2"]
+        sock = socket.create_connection((node.host, node.port))
+        sock.sendall(b"GET / HTTP/1.1\r\n\r\n")
+        sock.close()
+        # The deployment still works end to end afterwards.
+        publisher = chain.publisher("pub2", "b1")
+        subscriber = chain.subscriber("sub2", "b3")
+        publisher.submit(
+            AdvertiseMsg(
+                adv_id="adv9",
+                advert=Advertisement.from_tests(("r", "s")),
+                publisher_id="pub2",
+            )
+        )
+        chain.settle(timeout=5.0)
+        subscriber.submit(
+            SubscribeMsg(expr=parse_xpath("/r"), subscriber_id="sub2")
+        )
+        chain.settle(timeout=5.0)
+        publisher.submit(
+            PublishMsg(
+                publication=Publication(
+                    doc_id="r-1", path_id=0, path=("r", "s")
+                ),
+                publisher_id="pub2",
+            )
+        )
+        chain.settle(timeout=5.0)
+        assert subscriber.delivered_documents() == {"r-1"}
+
+    def test_half_open_connection_ignored(self, chain):
+        import socket
+
+        node = chain.nodes["b1"]
+        sock = socket.create_connection((node.host, node.port))
+        # Say nothing; just disconnect.
+        sock.close()
+        assert chain.settle(timeout=2.0)

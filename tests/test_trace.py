@@ -1,0 +1,124 @@
+"""Tests for the tracing subsystem and ASCII plotting."""
+
+from repro.dtd.samples import psd_dtd
+from repro.broker.strategies import RoutingConfig
+from repro.network import ConstantLatency, Overlay, Tracer
+from repro.workloads.document_generator import generate_documents
+
+
+def build_traced_overlay(tracer):
+    overlay = Overlay.binary_tree(
+        2,
+        config=RoutingConfig.with_adv_with_cov(),
+        latency_model=ConstantLatency(0.001),
+    )
+    overlay.attach_tracer(tracer)
+    publisher = overlay.attach_publisher("pub", "b2")
+    subscriber = overlay.attach_subscriber("sub", "b3")
+    publisher.advertise_dtd(psd_dtd())
+    overlay.run()
+    subscriber.subscribe("/ProteinDatabase")
+    overlay.run()
+    publisher.publish_document(
+        generate_documents(psd_dtd(), 1, seed=2, target_bytes=600)[0]
+    )
+    overlay.run()
+    return overlay
+
+
+class TestTracer:
+    def test_records_all_kinds(self):
+        tracer = Tracer()
+        build_traced_overlay(tracer)
+        kinds = tracer.kinds_seen()
+        assert kinds["AdvertiseMsg"] > 0
+        assert kinds["SubscribeMsg"] > 0
+        assert kinds["PublishMsg"] > 0
+
+    def test_kind_filter(self):
+        tracer = Tracer(kinds=["PublishMsg"])
+        build_traced_overlay(tracer)
+        assert set(tracer.kinds_seen()) == {"PublishMsg"}
+
+    def test_broker_filter(self):
+        tracer = Tracer(brokers=["b3"])
+        build_traced_overlay(tracer)
+        assert {r.broker_id for r in tracer.records} == {"b3"}
+
+    def test_limit_counts_drops(self):
+        tracer = Tracer(limit=5)
+        build_traced_overlay(tracer)
+        assert len(tracer) == 5
+        assert tracer.dropped > 0
+        assert "dropped" in tracer.format()
+
+    def test_predicate_filter(self):
+        tracer = Tracer(predicate=lambda r: "ProteinDatabase" in r.detail)
+        build_traced_overlay(tracer)
+        assert tracer.records
+        assert all("ProteinDatabase" in r.detail for r in tracer.records)
+
+    def test_timestamps_monotone(self):
+        tracer = Tracer()
+        build_traced_overlay(tracer)
+        times = [r.time for r in tracer.records]
+        assert times == sorted(times)
+
+    def test_format_contains_details(self):
+        tracer = Tracer(kinds=["SubscribeMsg"])
+        build_traced_overlay(tracer)
+        assert "/ProteinDatabase" in tracer.format()
+
+    def test_by_broker_partition(self):
+        tracer = Tracer()
+        build_traced_overlay(tracer)
+        grouped = tracer.by_broker()
+        assert sum(len(v) for v in grouped.values()) == len(tracer)
+
+
+class TestAsciiChart:
+    def make_result(self):
+        from repro.experiments.common import ExperimentResult
+
+        result = ExperimentResult(name="demo", columns=("x", "y1", "y2"))
+        for x in range(5):
+            result.add_row(x=x, y1=x * 2, y2=10 - x)
+        return result
+
+    def test_chart_contains_series_markers(self):
+        chart = self.make_result().chart(x_column="x")
+        assert "o y1" in chart
+        assert "x y2" in chart
+        assert "demo" in chart
+
+    def test_axis_labels(self):
+        chart = self.make_result().chart(x_column="x")
+        assert "0" in chart
+        assert "10" in chart
+
+    def test_subset_of_series(self):
+        chart = self.make_result().chart(x_column="x", y_columns=["y1"])
+        assert "y1" in chart and "y2" not in chart
+
+    def test_empty_result(self):
+        from repro.experiments.common import ExperimentResult
+
+        result = ExperimentResult(name="empty", columns=("x", "y"))
+        assert "(no data)" in result.chart(x_column="x")
+
+    def test_non_numeric_series_skipped(self):
+        from repro.experiments.common import ExperimentResult
+
+        result = ExperimentResult(name="mixed", columns=("x", "label", "y"))
+        result.add_row(x=1, label="a", y=5)
+        result.add_row(x=2, label="b", y=6)
+        chart = result.chart(x_column="x")
+        assert "label" not in chart.split("\n")[-1]
+
+    def test_flat_series_handled(self):
+        from repro.experiments.common import ExperimentResult
+
+        result = ExperimentResult(name="flat", columns=("x", "y"))
+        result.add_row(x=1, y=3)
+        result.add_row(x=2, y=3)
+        assert "flat" in result.chart(x_column="x")

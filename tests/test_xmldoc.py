@@ -1,0 +1,92 @@
+"""Unit tests for the XML document model and path decomposition."""
+
+import pytest
+
+from repro.errors import XMLSyntaxError
+from repro.xmldoc import Publication, XMLDocument
+
+SAMPLE = """
+<root>
+  <a><b>text</b><c/></a>
+  <a><b>more</b></a>
+  <d/>
+</root>
+"""
+
+
+class TestParsing:
+    def test_parse_and_paths(self):
+        doc = XMLDocument.parse(SAMPLE, doc_id="d1")
+        assert doc.paths() == [
+            ("root", "a", "b"),
+            ("root", "a", "c"),
+            ("root", "a", "b"),
+            ("root", "d"),
+        ]
+
+    def test_invalid_xml_rejected(self):
+        with pytest.raises(XMLSyntaxError):
+            XMLDocument.parse("<root><a></root>", doc_id="bad")
+
+    def test_depth(self):
+        doc = XMLDocument.parse(SAMPLE, doc_id="d1")
+        assert doc.depth() == 3
+
+    def test_size_bytes_counts_source(self):
+        doc = XMLDocument.parse(SAMPLE, doc_id="d1")
+        assert doc.size_bytes() == len(SAMPLE.encode("utf-8"))
+
+
+class TestPublications:
+    def test_publication_annotation(self):
+        doc = XMLDocument.parse(SAMPLE, doc_id="d1")
+        pubs = doc.publications()
+        assert all(isinstance(p, Publication) for p in pubs)
+        assert [p.path_id for p in pubs] == [0, 1, 2, 3]
+        assert all(p.doc_id == "d1" for p in pubs)
+
+    def test_publication_str(self):
+        pub = Publication(doc_id="d", path_id=2, path=("a", "b"))
+        assert str(pub) == "d#2:/a/b"
+
+
+class TestFromPaths:
+    def test_round_trip(self):
+        paths = [("r", "a", "x"), ("r", "a", "y"), ("r", "b")]
+        doc = XMLDocument.from_paths(paths, doc_id="d2")
+        assert doc.paths() == paths
+
+    def test_shares_prefixes(self):
+        doc = XMLDocument.from_paths(
+            [("r", "a", "x"), ("r", "a", "y")], doc_id="d3"
+        )
+        # One <a> element shared by both leaves.
+        assert len(doc.root) == 1
+
+    def test_repeated_siblings_stay_distinct(self):
+        doc = XMLDocument.from_paths(
+            [("r", "a", "x"), ("r", "b"), ("r", "a", "y")], doc_id="d4"
+        )
+        assert ("r", "a", "x") in doc.paths()
+        assert ("r", "a", "y") in doc.paths()
+
+    def test_text_filler_controls_size(self):
+        small = XMLDocument.from_paths([("r", "a")], doc_id="s")
+        big = XMLDocument.from_paths(
+            [("r", "a")], doc_id="b", text_filler="x" * 500
+        )
+        assert big.size_bytes() > small.size_bytes() + 400
+
+    def test_requires_shared_root(self):
+        with pytest.raises(ValueError):
+            XMLDocument.from_paths([("r", "a"), ("q", "b")], doc_id="bad")
+
+    def test_requires_paths(self):
+        with pytest.raises(ValueError):
+            XMLDocument.from_paths([], doc_id="bad")
+
+    def test_serialize_parses_back(self):
+        paths = [("r", "a", "x"), ("r", "b")]
+        doc = XMLDocument.from_paths(paths, doc_id="d5", text_filler="t")
+        again = XMLDocument.parse(doc.serialize(), doc_id="d5b")
+        assert again.paths() == paths

@@ -1,0 +1,120 @@
+"""Unit + property tests for the YFilter-style baseline matcher."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.covering.pathmatch import matches_path
+from repro.matching.engine import LinearMatcher
+from repro.matching.yfilter import YFilterMatcher
+from repro.xpath import parse_xpath
+from repro.xpath.ast import Axis, Step, XPathExpr
+
+
+def x(text):
+    return parse_xpath(text)
+
+
+def build(*texts):
+    matcher = YFilterMatcher()
+    for t in texts:
+        matcher.add(x(t), t)
+    return matcher
+
+
+class TestBasicMatching:
+    def test_absolute_prefix(self):
+        m = build("/a/b")
+        assert m.match(("a", "b")) == {"/a/b"}
+        assert m.match(("a", "b", "c")) == {"/a/b"}
+        assert m.match(("b", "a")) == set()
+
+    def test_relative_infix(self):
+        m = build("b/c")
+        assert m.match(("a", "b", "c", "d")) == {"b/c"}
+        assert m.match(("c", "b")) == set()
+
+    def test_wildcards(self):
+        m = build("/*/b", "/a/*")
+        assert m.match(("a", "b")) == {"/*/b", "/a/*"}
+        assert m.match(("q", "b")) == {"/*/b"}
+
+    def test_descendant(self):
+        m = build("/a//d")
+        assert m.match(("a", "b", "c", "d")) == {"/a//d"}
+        assert m.match(("a", "d")) == {"/a//d"}
+        assert m.match(("q", "d")) == set()
+
+    def test_leading_descendant(self):
+        m = build("//c/d")
+        assert m.match(("a", "b", "c", "d")) == {"//c/d"}
+
+    def test_prefix_sharing(self):
+        m = build("/a/b/c", "/a/b/d", "/a/b")
+        # /a, /a/b shared: expect a compact automaton.
+        assert m.state_count() <= 6
+        assert m.match(("a", "b", "c")) == {"/a/b/c", "/a/b"}
+
+
+class TestMaintenance:
+    def test_remove(self):
+        m = YFilterMatcher()
+        m.add(x("/a/b"), "k1")
+        m.add(x("/a/b"), "k2")
+        m.remove(x("/a/b"), "k1")
+        assert m.match(("a", "b")) == {"k2"}
+        m.remove(x("/a/b"), "k2")
+        assert m.match(("a", "b")) == set()
+        assert len(m) == 0
+
+    def test_remove_absent_is_noop(self):
+        m = build("/a")
+        m.remove(x("/zzz"), "nobody")
+        assert len(m) == 1
+
+    def test_keys_of(self):
+        m = YFilterMatcher()
+        m.add(x("/a"), "k1")
+        m.add(x("/a"), "k2")
+        assert m.keys_of(x("/a")) == {"k1", "k2"}
+
+
+NAMES = st.sampled_from(["a", "b", "c", "*"])
+
+
+@st.composite
+def exprs(draw):
+    n = draw(st.integers(1, 5))
+    rooted = draw(st.booleans())
+    steps = []
+    for i in range(n):
+        if i == 0 and rooted:
+            axis = Axis.CHILD
+        else:
+            axis = draw(st.sampled_from([Axis.CHILD, Axis.DESCENDANT]))
+        steps.append(Step(axis, draw(NAMES)))
+    return XPathExpr(steps=tuple(steps), rooted=rooted)
+
+
+class TestEquivalenceWithLinear:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        workload=st.lists(exprs(), min_size=1, max_size=8),
+        path=st.lists(st.sampled_from(["a", "b", "c", "d"]), min_size=1, max_size=7),
+    )
+    def test_same_matches_as_linear_scan(self, workload, path):
+        linear = LinearMatcher()
+        yfilter = YFilterMatcher()
+        for i, expr in enumerate(workload):
+            linear.add(expr, i)
+            yfilter.add(expr, i)
+        assert yfilter.match(tuple(path)) == linear.match(tuple(path))
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        expr=exprs(),
+        path=st.lists(st.sampled_from(["a", "b", "c", "d"]), min_size=1, max_size=7),
+    )
+    def test_single_expr_agrees_with_matches_path(self, expr, path):
+        m = YFilterMatcher()
+        m.add(expr, "k")
+        expected = {"k"} if matches_path(expr, tuple(path)) else set()
+        assert m.match(tuple(path)) == expected
