@@ -7,8 +7,15 @@ rows/series.  Scales are reduced relative to the paper (Python vs. the
 authors' C++/cluster); EXPERIMENTS.md records the correspondence.
 """
 
+import json
+import os
+import platform
+import sys
+import time
+
 import pytest
 
+from repro import obs
 from repro.dtd.samples import nitf_dtd
 from repro.merging.engine import PathUniverse
 from repro.workloads.datasets import set_a, set_b
@@ -20,10 +27,63 @@ from repro.workloads.datasets import set_a, set_b
 PAPER_SET_SIZE = 1200
 
 
+#: Path of the machine-readable observability artifact the benchmark
+#: session writes (and CI uploads): repo root / BENCH_obs.json.
+BENCH_OBS_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_obs.json",
+)
+
+
+def _calibrate(iterations: int = 200000) -> float:
+    """Seconds for a fixed pure-Python workload on this machine.
+
+    Stored alongside the metrics so the regression gate can compare
+    runs across machines of different speeds: hot-path timings are
+    divided by this figure before the baseline ratio test.
+    """
+    start = time.perf_counter()
+    total = 0
+    table = {}
+    for i in range(iterations):
+        table[i & 1023] = i
+        total += table.get((i * 7) & 1023, 0)
+    if total < 0:  # keep the loop observable
+        raise AssertionError("unreachable")
+    return time.perf_counter() - start
+
+
 def pytest_configure(config):
     config.addinivalue_line(
         "markers", "paper: marks benchmarks that regenerate a paper table/figure"
     )
+    # The benchmark session runs with hot-path metrics ON so the
+    # BENCH_obs.json artifact records every instrumented component's
+    # timing distribution (the perf trajectory CI tracks).
+    obs.enable_metrics(reset=True)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    registry = obs.get_registry()
+    if not registry.metric_names():
+        return  # collection-only / fully-skipped session
+    payload = {
+        "meta": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "argv": sys.argv[1:],
+            "paper_set_size": PAPER_SET_SIZE,
+            "calibration_seconds": _calibrate(),
+            "unix_time": time.time(),
+        },
+        "metrics": registry.snapshot(),
+    }
+    with open(BENCH_OBS_PATH, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    terminal = session.config.pluginmanager.get_plugin("terminalreporter")
+    if terminal is not None:
+        terminal.write_line("observability snapshot: %s" % BENCH_OBS_PATH)
 
 
 @pytest.fixture(scope="session")

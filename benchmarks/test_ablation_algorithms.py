@@ -22,7 +22,7 @@ from repro.adverts.recursive import (
 )
 from repro.covering.subscription_tree import SubscriptionTree
 from repro.dtd.samples import nitf_dtd
-from repro.merging.engine import MergingEngine, PathUniverse
+from repro.merging.engine import MergingEngine
 from repro.workloads.xpath_generator import (
     XPathWorkloadParams,
     generate_queries,

@@ -1,0 +1,72 @@
+"""Observability smoke benchmark: a 7-broker end-to-end workload.
+
+Two purposes:
+
+* it exercises every instrumented hot path (broker dispatch, tree
+  insert/match, advertisement intersection, overlay dispatch) so the
+  ``BENCH_obs.json`` artifact always carries their timing histograms —
+  this is the workload CI's ``bench-smoke`` job gates on;
+* the enabled/disabled pair measures the instrumentation overhead
+  itself, which must stay in the noise (the registry is one attribute
+  check per site when off, one clock pair when on).
+"""
+
+import pytest
+
+from repro import obs
+from repro.broker.strategies import RoutingConfig
+from repro.dtd.samples import psd_dtd
+from repro.network.latency import ClusterLatency
+from repro.network.overlay import Overlay
+from repro.workloads.datasets import psd_queries
+from repro.workloads.document_generator import generate_documents
+
+
+def _run_workload(xpes_per_subscriber=30, documents=5):
+    """Quickstart-shaped run: 7 brokers, PSD advertisements, four leaf
+    subscribers, one publisher."""
+    dtd = psd_dtd()
+    overlay = Overlay.binary_tree(
+        3,
+        config=RoutingConfig.full(),
+        latency_model=ClusterLatency(seed=7),
+    )
+    subscribers = [
+        overlay.attach_subscriber("sub%d" % index, leaf)
+        for index, leaf in enumerate(overlay.leaf_brokers())
+    ]
+    publisher = overlay.attach_publisher("pub0", "b1")
+    publisher.advertise_dtd(dtd)
+    overlay.run()
+    for index, subscriber in enumerate(subscribers):
+        for expr in psd_queries(
+            xpes_per_subscriber, seed=100 + index
+        ).exprs:
+            subscriber.subscribe(expr)
+    overlay.run()
+    for doc in generate_documents(dtd, documents, seed=3, target_bytes=1024):
+        publisher.publish_document(doc)
+    overlay.run()
+    return overlay
+
+
+@pytest.mark.benchmark(group="obs-overhead")
+def test_overlay_run_metrics_enabled(benchmark):
+    obs.enable_metrics()
+    overlay = benchmark.pedantic(_run_workload, rounds=3, iterations=1)
+    snapshot = overlay.metrics_snapshot()
+    assert snapshot["counters"]["network.messages"] > 0
+    assert snapshot["histograms"]["broker.handle.publish"]["count"] > 0
+    assert snapshot["network"]["network_traffic"] > 0
+
+
+@pytest.mark.benchmark(group="obs-overhead")
+def test_overlay_run_metrics_disabled(benchmark):
+    was_enabled = obs.get_registry().enabled
+    obs.disable_metrics()
+    try:
+        overlay = benchmark.pedantic(_run_workload, rounds=3, iterations=1)
+    finally:
+        if was_enabled:
+            obs.enable_metrics()
+    assert overlay.stats.network_traffic > 0

@@ -10,7 +10,6 @@ is serialised to JSON and its state printed.
 Run:  python examples/tcp_deployment.py
 """
 
-import time
 
 from repro.adverts import generate_advertisements
 from repro.broker import RoutingConfig, SubscribeMsg, AdvertiseMsg, PublishMsg

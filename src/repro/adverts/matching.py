@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Sequence, Tuple
 
+from repro import obs
 from repro.xpath.ast import WILDCARD, XPathExpr
 
 
@@ -154,6 +155,7 @@ def des_expr_and_adv(advert_tests: Sequence[str], sub: XPathExpr) -> bool:
     return True
 
 
+@obs.timed("adverts.expr_and_adv")
 def expr_and_adv(advert_tests: Sequence[str], sub: XPathExpr) -> bool:
     """Dispatch to the right matching algorithm for *sub*'s shape."""
     if sub.is_simple:

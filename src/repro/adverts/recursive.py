@@ -18,11 +18,12 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro import obs
 from repro.adverts.matching import (
     abs_expr_and_adv,
     des_expr_and_adv,
-    rel_expr_and_adv,
     node_tests_overlap,
+    rel_expr_and_adv,
 )
 from repro.adverts.model import Advertisement
 from repro.xpath.ast import XPathExpr
@@ -138,6 +139,18 @@ def expr_and_advertisement(advert: Advertisement, sub: XPathExpr) -> bool:
     test must pair with an equal advertisement symbol, so a
     subscription naming a foreign element can never overlap.
     """
+    registry = obs.get_registry()
+    if not registry.enabled:
+        return _expr_and_advertisement(advert, sub)
+    with registry.timer("adverts.intersect"):
+        result = _expr_and_advertisement(advert, sub)
+    registry.counter(
+        "adverts.intersect.hit" if result else "adverts.intersect.miss"
+    ).inc()
+    return result
+
+
+def _expr_and_advertisement(advert: Advertisement, sub: XPathExpr) -> bool:
     if not advert.has_wildcard:
         symbols = advert.symbols()
         for test in sub.tests:

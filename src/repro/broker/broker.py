@@ -28,6 +28,7 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro import obs
 from repro.broker.messages import (
     AdvertiseMsg,
     Message,
@@ -40,7 +41,7 @@ from repro.broker.strategies import MergingMode, RoutingConfig
 from repro.broker.tables import ForwardedState, SubscriptionRoutingTable
 from repro.covering.pathmatch import matches_path
 from repro.covering.subscription_tree import SubscriptionTree
-from repro.errors import RoutingError
+from repro.errors import ProtocolError, RoutingError
 from repro.matching.engine import LinearMatcher
 from repro.merging.engine import MergingEngine, PathUniverse
 from repro.xpath.ast import XPathExpr
@@ -116,20 +117,39 @@ class Broker:
 
     # -- dispatch --------------------------------------------------------------
 
+    #: kind -> (handler name, timer metric); isinstance order matters
+    #: only for subclasses of these five, which the protocol forbids.
+    _DISPATCH = (
+        (AdvertiseMsg, "handle_advertise", "broker.handle.advertise"),
+        (UnadvertiseMsg, "handle_unadvertise", "broker.handle.unadvertise"),
+        (SubscribeMsg, "handle_subscribe", "broker.handle.subscribe"),
+        (UnsubscribeMsg, "handle_unsubscribe", "broker.handle.unsubscribe"),
+        (PublishMsg, "handle_publish", "broker.handle.publish"),
+    )
+
     def handle(self, message: Message, from_hop: object) -> Outbound:
-        """Process one message; returns the messages to emit."""
-        self.stats[message.kind] += 1
-        if isinstance(message, AdvertiseMsg):
-            return self.handle_advertise(message, from_hop)
-        if isinstance(message, UnadvertiseMsg):
-            return self.handle_unadvertise(message, from_hop)
-        if isinstance(message, SubscribeMsg):
-            return self.handle_subscribe(message, from_hop)
-        if isinstance(message, UnsubscribeMsg):
-            return self.handle_unsubscribe(message, from_hop)
-        if isinstance(message, PublishMsg):
-            return self.handle_publish(message, from_hop)
-        raise RoutingError("unknown message kind %r" % message.kind)
+        """Process one message; returns the messages to emit.
+
+        Unknown message kinds are a protocol violation: they raise
+        :class:`~repro.errors.ProtocolError` (and count under the
+        ``broker.unknown_kind`` metric) instead of being dropped, so a
+        malformed peer is surfaced at the first bad message.
+        """
+        for cls, handler_name, metric in self._DISPATCH:
+            if isinstance(message, cls):
+                self.stats[message.kind] += 1
+                handler = getattr(self, handler_name)
+                registry = obs.get_registry()
+                if not registry.enabled:
+                    return handler(message, from_hop)
+                with registry.timer(metric):
+                    return handler(message, from_hop)
+        obs.inc("broker.unknown_kind")
+        self.stats["unknown"] += 1
+        raise ProtocolError(
+            "broker %r received unknown message kind %r"
+            % (self.broker_id, getattr(message, "kind", type(message).__name__))
+        )
 
     # -- advertisements ----------------------------------------------------------
 

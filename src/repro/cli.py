@@ -9,6 +9,7 @@ Usage::
     python -m repro.cli match "/a//b" a/x/b            # XPE vs path
     python -m repro.cli covers "/a" "/a/b"             # covering check
     python -m repro.cli simulate --levels 3 --strategy with-Adv-with-Cov
+    python -m repro.cli stats --levels 3               # metrics snapshot
     python -m repro.cli experiments --only fig6        # paper tables
 
 Each subcommand is a thin veneer over the library — anything it prints
@@ -109,6 +110,11 @@ def cmd_covers(args) -> int:
 def cmd_simulate(args) -> int:
     from repro.experiments.tables23 import run_traffic_experiment
 
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out:
+        from repro import obs
+
+        obs.enable_metrics(reset=True)
     strategies = [args.strategy] if args.strategy else None
     result = run_traffic_experiment(
         levels=args.levels,
@@ -119,6 +125,57 @@ def cmd_simulate(args) -> int:
         check_delivery_equivalence=strategies is None,
     )
     print(result.format())
+    if metrics_out:
+        obs.write_json(
+            obs.get_registry(),
+            metrics_out,
+            meta={"command": "simulate", "levels": args.levels},
+        )
+        print("metrics written to %s" % metrics_out)
+    return 0
+
+
+def cmd_stats(args) -> int:
+    """Run a quickstart-style workload with metrics on and emit the
+    unified observability snapshot (traffic + delay + timings)."""
+    import json
+
+    from repro import obs
+    from repro.experiments.tables23 import run_traffic_experiment
+
+    obs.enable_metrics(reset=True)
+    strategy = args.strategy or "with-Adv-with-CovPM"
+    run_traffic_experiment(
+        levels=args.levels,
+        xpes_per_subscriber=args.xpes,
+        documents=args.documents,
+        strategies=[strategy],
+        seed=args.seed,
+        check_delivery_equivalence=False,
+    )
+    registry = obs.get_registry()
+    if args.format == "line":
+        rendered = obs.to_line_protocol(registry)
+    else:
+        document = obs.snapshot_document(
+            registry,
+            meta={
+                "command": "stats",
+                "levels": args.levels,
+                "brokers": 2 ** args.levels - 1,
+                "strategy": strategy,
+                "xpes_per_subscriber": args.xpes,
+                "documents": args.documents,
+                "seed": args.seed,
+            },
+        )
+        rendered = json.dumps(document, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(rendered + "\n")
+        print("metrics written to %s" % args.out)
+    else:
+        print(rendered)
     return 0
 
 
@@ -128,6 +185,8 @@ def cmd_experiments(args) -> int:
     forwarded = []
     if args.scale != 1.0:
         forwarded.extend(["--scale", str(args.scale)])
+    if args.metrics_out:
+        forwarded.extend(["--metrics-out", args.metrics_out])
     if args.only:
         forwarded.append("--only")
         forwarded.extend(args.only)
@@ -177,11 +236,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--documents", type=int, default=10)
     p.add_argument("--strategy", choices=RoutingConfig.ALL_NAMES)
     p.add_argument("--seed", type=int, default=5)
+    p.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        default=None,
+        help="enable metrics and write the JSON snapshot here",
+    )
     p.set_defaults(fn=cmd_simulate)
+
+    p = sub.add_parser(
+        "stats",
+        help="run a small workload with metrics enabled and print the "
+        "observability snapshot",
+    )
+    p.add_argument("--levels", type=int, default=3, help="broker tree depth")
+    p.add_argument("--xpes", type=int, default=50)
+    p.add_argument("--documents", type=int, default=10)
+    p.add_argument("--strategy", choices=RoutingConfig.ALL_NAMES)
+    p.add_argument("--seed", type=int, default=5)
+    p.add_argument("--out", metavar="FILE", default=None)
+    p.add_argument("--format", choices=("json", "line"), default="json")
+    p.set_defaults(fn=cmd_stats)
 
     p = sub.add_parser("experiments", help="reproduce the paper's tables/figures")
     p.add_argument("--scale", type=float, default=1.0)
     p.add_argument("--only", nargs="*", default=None)
+    p.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        default=None,
+        help="enable metrics and write the JSON snapshot here",
+    )
     p.set_defaults(fn=cmd_experiments)
 
     return parser

@@ -70,12 +70,14 @@ def matches_path(
         return False
     if expr.has_predicates:
         segments = expr.step_segments
-        test = lambda segment, offset: _segment_at(
-            segment, path, attributes, offset
-        )
+
+        def test(segment, offset):
+            return _segment_at(segment, path, attributes, offset)
     else:
         segments = expr.segments
-        test = lambda segment, offset: _tests_at(segment, path, offset)
+
+        def test(segment, offset):
+            return _tests_at(segment, path, offset)
 
     position = 0
     for index, segment in enumerate(segments):

@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro import obs
 from repro.covering.algorithms import covers
 from repro.covering.pathmatch import matches_path
 from repro.xpath.ast import XPathExpr
@@ -111,6 +112,10 @@ class SubscriptionTree:
         self._root = SubNode(expr=None)  # sentinel
         self._by_expr: Dict[XPathExpr, SubNode] = {}
         self._eager_super_pointers = eager_super_pointers
+        #: Lifetime count of covering comparisons made by descents; the
+        #: instrumented entry points publish deltas of this as the
+        #: ``covering.tree.cover_checks`` metric.
+        self.cover_checks = 0
 
     # -- size metrics -----------------------------------------------------
 
@@ -140,6 +145,18 @@ class SubscriptionTree:
     def insert(self, expr: XPathExpr, key: object = None) -> InsertOutcome:
         """Insert *expr* for subscriber/last-hop *key* (paper's three
         cases; breadth-first descent from the root)."""
+        registry = obs.get_registry()
+        if not registry.enabled:
+            return self._insert(expr, key)
+        checks_before = self.cover_checks
+        with registry.timer("covering.tree.insert"):
+            outcome = self._insert(expr, key)
+        registry.counter("covering.tree.cover_checks").inc(
+            self.cover_checks - checks_before
+        )
+        return outcome
+
+    def _insert(self, expr: XPathExpr, key: object = None) -> InsertOutcome:
         existing = self._by_expr.get(expr)
         if existing is not None:
             existing.keys.add(key)
@@ -267,6 +284,7 @@ class SubscriptionTree:
                     and not all(s.is_wildcard for s in child_expr.steps)
                 ):
                     continue
+                self.cover_checks += 1
                 if covers(child_expr, expr):
                     covering_child = child
                     break
@@ -282,13 +300,29 @@ class SubscriptionTree:
         Failing a node prunes its whole subtree: the node covers its
         descendants, so a path it rejects cannot match them either.
         """
+        registry = obs.get_registry()
+        if not registry.enabled:
+            return self._match(path, attributes)
+        with registry.timer("covering.tree.match"):
+            matched, visited = self._match(path, attributes, count=True)
+        registry.counter("covering.tree.nodes_visited").inc(visited)
+        registry.counter("covering.tree.nodes_pruned").inc(
+            len(self._by_expr) - visited
+        )
+        return matched
+
+    def _match(self, path, attributes=None, count=False):
         matched: List[SubNode] = []
+        visited = 0
         stack = list(self._root.children)
         while stack:
             node = stack.pop()
+            visited += 1
             if matches_path(node.expr, path, attributes):
                 matched.append(node)
                 stack.extend(node.children)
+        if count:
+            return matched, visited
         return matched
 
     def match_keys(self, path: Sequence[str], attributes=None) -> Set[object]:

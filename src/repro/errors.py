@@ -45,6 +45,13 @@ class RoutingError(ReproError):
     """
 
 
+class ProtocolError(RoutingError):
+    """Raised when a broker receives a message it cannot interpret —
+    an unknown message kind, or a payload that violates the dissemination
+    protocol.  Subclasses :class:`RoutingError` so existing handlers of
+    broker-side failures keep working."""
+
+
 class TopologyError(ReproError):
     """Raised when an overlay topology is malformed (cycles, unknown
     brokers, duplicate links)."""

@@ -55,7 +55,19 @@ def main(argv=None) -> int:
         default=None,
         help="write a markdown report instead of printing tables",
     )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        default=None,
+        help="enable hot-path metrics and write the observability "
+        "snapshot (JSON) here after the run",
+    )
     args = parser.parse_args(argv)
+
+    if args.metrics_out:
+        from repro import obs
+
+        obs.enable_metrics(reset=True)
 
     experiments = {
         "fig6": lambda: run_fig6(scale=0.05 * args.scale),
@@ -76,11 +88,24 @@ def main(argv=None) -> int:
     if unknown:
         parser.error("unknown experiment(s): %s" % ", ".join(unknown))
 
+    def flush_metrics():
+        if not args.metrics_out:
+            return
+        from repro import obs
+
+        obs.write_json(
+            obs.get_registry(),
+            args.metrics_out,
+            meta={"command": "experiments", "only": selected, "scale": args.scale},
+        )
+        print("metrics written to %s" % args.metrics_out)
+
     if args.output:
         from repro.experiments.report import write_report
 
         write_report(experiments, args.output, only=selected)
         print("report written to %s" % args.output)
+        flush_metrics()
         return 0
 
     for name in selected:
@@ -92,6 +117,7 @@ def main(argv=None) -> int:
             print(result.chart())
         print("[%s completed in %.1fs]" % (name, time.time() - start))
         print()
+    flush_metrics()
     return 0
 
 

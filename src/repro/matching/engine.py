@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Set
 
+from repro import obs
 from repro.covering.pathmatch import matches_path
 from repro.covering.subscription_tree import SubscriptionTree
 from repro.xpath.ast import XPathExpr
@@ -34,6 +35,15 @@ class LinearMatcher:
             del self._subs[expr]
 
     def match(self, path: Sequence[str], attributes=None) -> Set[object]:
+        registry = obs.get_registry()
+        if not registry.enabled:
+            return self._match(path, attributes)
+        with registry.timer("matching.linear.match"):
+            matched = self._match(path, attributes)
+        registry.counter("matching.linear.exprs_scanned").inc(len(self._subs))
+        return matched
+
+    def _match(self, path: Sequence[str], attributes=None) -> Set[object]:
         matched: Set[object] = set()
         for expr, keys in self._subs.items():
             if matches_path(expr, path, attributes):
@@ -76,7 +86,13 @@ class TreeMatcher:
         self._tree.remove(expr, key)
 
     def match(self, path: Sequence[str], attributes=None) -> Set[object]:
-        return self._tree.match_keys(path, attributes)
+        # SubscriptionTree.match carries the covering.tree.* metrics;
+        # this wrapper adds the engine-level timing for engine ablations.
+        registry = obs.get_registry()
+        if not registry.enabled:
+            return self._tree.match_keys(path, attributes)
+        with registry.timer("matching.tree.match"):
+            return self._tree.match_keys(path, attributes)
 
     def matching_exprs(
         self, path: Sequence[str], attributes=None

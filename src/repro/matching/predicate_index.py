@@ -29,6 +29,7 @@ from __future__ import annotations
 from collections import Counter, defaultdict
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro import obs
 from repro.covering.pathmatch import matches_path
 from repro.xpath.ast import WILDCARD, XPathExpr
 
@@ -126,6 +127,7 @@ class PredicateIndexMatcher:
 
     # -- matching ------------------------------------------------------------
 
+    @obs.timed("matching.predicate_index.match")
     def match_exprs(
         self, path: Sequence[str], attributes=None
     ) -> Set[XPathExpr]:

@@ -27,8 +27,9 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Set
 
+from repro import obs
 from repro.covering.pathmatch import matches_path
-from repro.xpath.ast import Axis, WILDCARD, XPathExpr
+from repro.xpath.ast import WILDCARD, Axis, XPathExpr
 
 
 class _State:
@@ -103,6 +104,7 @@ class YFilterMatcher:
 
     # -- matching ----------------------------------------------------------
 
+    @obs.timed("matching.yfilter.match")
     def match_exprs(
         self, path: Sequence[str], attributes=None
     ) -> Set[XPathExpr]:

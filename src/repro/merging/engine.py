@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro import obs
 from repro.covering.algorithms import covers
 from repro.covering.pathmatch import matches_path
 from repro.covering.subscription_tree import SubNode, SubscriptionTree
@@ -173,6 +174,16 @@ class MergingEngine:
         are the ones a covering-based router propagates (unsubscribe the
         replaced XPEs, forward the merger).
         """
+        registry = obs.get_registry()
+        if not registry.enabled:
+            return self._merge_tree(tree)
+        with registry.timer("merging.sweep"):
+            report = self._merge_tree(tree)
+        registry.counter("merging.events").inc(len(report.events))
+        registry.counter("merging.merged_away").inc(report.merged_away)
+        return report
+
+    def _merge_tree(self, tree: SubscriptionTree) -> MergeReport:
         report = MergeReport()
         # Snapshot parents first: the sweep mutates children lists.
         parents = [tree.root] + [node for node in tree.iter_nodes()]

@@ -50,7 +50,10 @@ class SubscriberClient:
     def unsubscribe(self, expr: Union[str, XPathExpr]):
         expr = _as_expr(expr)
         self.subscriptions.discard(expr)
-        self._overlay.submit(self.client_id, UnsubscribeMsg(expr=expr, subscriber_id=self.client_id))
+        self._overlay.submit(
+            self.client_id,
+            UnsubscribeMsg(expr=expr, subscriber_id=self.client_id),
+        )
 
     def receive(self, msg: PublishMsg, hops: int):
         """Called by the overlay when the edge broker delivers a path."""

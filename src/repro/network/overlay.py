@@ -14,6 +14,7 @@ from __future__ import annotations
 import time
 from typing import Dict, Optional, Set, Tuple
 
+from repro import obs
 from repro.broker.broker import Broker
 from repro.broker.messages import Message, PublishMsg
 from repro.broker.strategies import RoutingConfig
@@ -23,6 +24,7 @@ from repro.network.clients import PublisherClient, SubscriberClient
 from repro.network.latency import ClusterLatency, LatencyModel
 from repro.network.simulator import Simulator
 from repro.network.stats import DeliveryRecord, NetworkStats
+from repro.obs import MetricsRegistry
 
 
 class Overlay:
@@ -37,6 +39,11 @@ class Overlay:
             the real Python matching cost).
         queueing: serialise each broker's processing (arrivals wait for
             the broker to become idle) instead of overlapping it.
+        metrics: the :class:`~repro.obs.MetricsRegistry` this overlay
+            reports into; defaults to the process-global registry the
+            hot-path instrumentation already uses, so
+            ``overlay.metrics.snapshot()`` unifies traffic, delay and
+            timing (see :meth:`metrics_snapshot`).
     """
 
     def __init__(
@@ -46,6 +53,7 @@ class Overlay:
         universe: Optional[PathUniverse] = None,
         processing_scale: float = 1.0,
         queueing: bool = False,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.config = config if config is not None else RoutingConfig.full()
         self.latency_model = (
@@ -54,7 +62,8 @@ class Overlay:
         self.universe = universe
         self.processing_scale = processing_scale
         self.sim = Simulator()
-        self.stats = NetworkStats()
+        self.metrics = metrics if metrics is not None else obs.get_registry()
+        self.stats = NetworkStats(registry=self.metrics)
         self.brokers: Dict[str, Broker] = {}
         self.links: Set[Tuple[str, str]] = set()
         self.subscribers: Dict[str, SubscriberClient] = {}
@@ -194,6 +203,8 @@ class Overlay:
         """Register a :class:`repro.network.trace.Tracer`; every broker
         message hop is offered to it."""
         self._tracers.append(tracer)
+        if getattr(tracer, "registry", None) is None:
+            tracer.registry = self.metrics
         return tracer
 
     def _broker_receive(
@@ -205,7 +216,12 @@ class Overlay:
         broker = self.brokers[broker_id]
         started = time.perf_counter()
         outbound = broker.handle(message, from_hop)
-        processing = (time.perf_counter() - started) * self.processing_scale
+        elapsed = time.perf_counter() - started
+        metrics = self.metrics
+        if metrics.enabled:
+            metrics.histogram("network.dispatch").record(elapsed)
+            metrics.counter("network.dispatch.outbound").inc(len(outbound))
+        processing = elapsed * self.processing_scale
         if self.queueing:
             queued_from = max(
                 self.sim.now, self._busy_until.get(broker_id, 0.0)
@@ -213,6 +229,10 @@ class Overlay:
             finish = queued_from + processing
             self._busy_until[broker_id] = finish
             processing = finish - self.sim.now
+            if metrics.enabled:
+                metrics.histogram("network.queue_wait").record(
+                    queued_from - self.sim.now
+                )
         for destination, out_msg in outbound:
             self._forward(broker_id, destination, out_msg, processing, hops)
 
@@ -266,6 +286,22 @@ class Overlay:
         return self.sim.run(max_events=max_events)
 
     # -- reporting ----------------------------------------------------------------
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """One document with traffic, delay and hot-path timing.
+
+        ``self.metrics.snapshot()`` already carries everything recorded
+        while the registry was enabled; this helper additionally folds
+        in the :class:`NetworkStats` summary (always collected, even
+        with metrics off) and per-broker routing-table gauges.
+        """
+        for broker_id, broker in self.brokers.items():
+            self.metrics.gauge("broker.%s.routing_table" % broker_id).set(
+                broker.routing_table_size()
+            )
+        document = self.metrics.snapshot()
+        document["network"] = self.stats.summary()
+        return document
 
     def routing_table_sizes(self) -> Dict[str, int]:
         return {

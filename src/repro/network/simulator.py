@@ -11,6 +11,8 @@ import heapq
 import itertools
 from typing import Callable, Optional
 
+from repro import obs
+
 
 class Simulator:
     """Single-threaded discrete-event loop with a virtual clock."""
@@ -59,6 +61,10 @@ class Simulator:
             action()
             processed += 1
             self._processed += 1
+        registry = obs.get_registry()
+        if registry.enabled and processed:
+            registry.counter("network.sim.events").inc(processed)
+            registry.gauge("network.sim.pending").set(len(self._queue))
         return processed
 
     def pending(self) -> int:

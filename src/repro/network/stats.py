@@ -13,6 +13,8 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.obs import MetricsRegistry
+
 
 @dataclass(frozen=True)
 class DeliveryRecord:
@@ -32,7 +34,15 @@ class DeliveryRecord:
 
 @dataclass
 class NetworkStats:
-    """Counters shared by every broker and client of one overlay."""
+    """Counters shared by every broker and client of one overlay.
+
+    When a :class:`~repro.obs.MetricsRegistry` is attached (the overlay
+    attaches its own), every recorded event is mirrored into it —
+    ``network.messages`` / ``network.messages.<kind>`` counters, the
+    ``network.client_messages`` counter and the ``network.delivery_delay``
+    histogram — so one registry snapshot carries traffic, delay and
+    hot-path timing together.
+    """
 
     broker_messages: Dict[str, int] = field(
         default_factory=lambda: defaultdict(int)
@@ -42,18 +52,30 @@ class NetworkStats:
     )
     client_messages: int = 0
     deliveries: List[DeliveryRecord] = field(default_factory=list)
+    registry: Optional[MetricsRegistry] = None
 
     # -- recording -------------------------------------------------------
 
     def record_broker_message(self, broker_id: str, kind: str):
         self.broker_messages[broker_id] += 1
         self.messages_by_kind[kind] += 1
+        registry = self.registry
+        if registry is not None and registry.enabled:
+            registry.counter("network.messages").inc()
+            registry.counter("network.messages." + kind).inc()
 
     def record_client_message(self):
         self.client_messages += 1
+        registry = self.registry
+        if registry is not None and registry.enabled:
+            registry.counter("network.client_messages").inc()
 
     def record_delivery(self, record: DeliveryRecord):
         self.deliveries.append(record)
+        registry = self.registry
+        if registry is not None and registry.enabled:
+            registry.histogram("network.delivery_delay").record(record.delay)
+            registry.histogram("network.delivery_hops").record(record.hops)
 
     # -- report ------------------------------------------------------------
 

@@ -51,6 +51,7 @@ class Tracer:
         brokers: Optional[Sequence[str]] = None,
         predicate: Optional[Callable[[TraceRecord], bool]] = None,
         limit: int = 0,
+        registry=None,
     ):
         self._kinds = frozenset(kinds) if kinds is not None else None
         self._brokers = frozenset(brokers) if brokers is not None else None
@@ -58,6 +59,10 @@ class Tracer:
         self._limit = limit
         self.records: List[TraceRecord] = []
         self.dropped = 0
+        #: Optional :class:`~repro.obs.MetricsRegistry`; the overlay's
+        #: ``attach_tracer`` fills this in so kept/dropped trace volume
+        #: shows up in the unified snapshot (``network.trace.*``).
+        self.registry = registry
 
     def record(self, time, broker_id, message, from_hop):
         kind = type(message).__name__
@@ -74,10 +79,15 @@ class Tracer:
         )
         if self._predicate is not None and not self._predicate(record):
             return
+        registry = self.registry
         if self._limit and len(self.records) >= self._limit:
             self.dropped += 1
+            if registry is not None and registry.enabled:
+                registry.counter("network.trace.dropped").inc()
             return
         self.records.append(record)
+        if registry is not None and registry.enabled:
+            registry.counter("network.trace.records").inc()
 
     # -- analysis ---------------------------------------------------------
 

@@ -1,0 +1,70 @@
+"""Snapshot serialisation: JSON documents and a line protocol.
+
+The JSON form is what ``repro stats``, ``--metrics-out`` and the
+benchmark suite's ``BENCH_obs.json`` artifact emit; the line protocol
+(one ``name,type=<kind> field=value ...`` record per metric, in the
+spirit of InfluxDB's wire format) suits log scraping and ad-hoc
+``grep``-based dashboards.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.obs.registry import MetricsRegistry
+
+
+def snapshot_document(
+    registry: MetricsRegistry, meta: Optional[Dict[str, object]] = None
+) -> Dict[str, object]:
+    """The registry snapshot wrapped with optional metadata."""
+    document: Dict[str, object] = {}
+    if meta:
+        document["meta"] = dict(meta)
+    document.update(registry.snapshot())
+    return document
+
+
+def write_json(
+    registry: MetricsRegistry,
+    path: str,
+    meta: Optional[Dict[str, object]] = None,
+):
+    """Write the snapshot document to *path* as indented JSON."""
+    with open(path, "w") as handle:
+        json.dump(
+            snapshot_document(registry, meta=meta),
+            handle,
+            indent=2,
+            sort_keys=True,
+        )
+        handle.write("\n")
+
+
+def to_line_protocol(registry: MetricsRegistry) -> str:
+    """Render every metric as one line: counters and gauges carry a
+    single ``value`` field, histograms their summary statistics."""
+    lines: List[str] = []
+    for kind, name, instrument in registry.iter_metrics():
+        if kind == "histogram":
+            stats = instrument.snapshot()
+            fields = ",".join(
+                "%s=%s" % (key, _fmt(stats[key]))
+                for key in ("count", "sum", "mean", "min", "max", "p50", "p95", "p99")
+                if stats[key] is not None
+            )
+            if not fields:
+                fields = "count=0"
+        else:
+            fields = "value=%s" % _fmt(instrument.snapshot())
+        lines.append("%s,type=%s %s" % (name, kind, fields))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return "%di" % value
+    return repr(float(value))

@@ -1,6 +1,5 @@
 """Tests for advertisement covering (paper §2.2)."""
 
-import pytest
 
 from repro.adverts import Advertisement, simple_recursive
 from repro.adverts.covering import AdvertCoverSet, advert_covers

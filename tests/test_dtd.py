@@ -88,16 +88,25 @@ class TestParser:
 
     def test_mixing_separators_rejected(self):
         with pytest.raises(DTDSyntaxError):
-            parse_dtd("<!ELEMENT a (b, c | d)><!ELEMENT b EMPTY><!ELEMENT c EMPTY><!ELEMENT d EMPTY>")
+            parse_dtd(
+                "<!ELEMENT a (b, c | d)><!ELEMENT b EMPTY>"
+                "<!ELEMENT c EMPTY><!ELEMENT d EMPTY>"
+            )
 
     def test_occurrence_parsing(self):
-        dtd = parse_dtd("<!ELEMENT a (b+, c*, d?)><!ELEMENT b EMPTY><!ELEMENT c EMPTY><!ELEMENT d EMPTY>")
+        dtd = parse_dtd(
+            "<!ELEMENT a (b+, c*, d?)><!ELEMENT b EMPTY>"
+            "<!ELEMENT c EMPTY><!ELEMENT d EMPTY>"
+        )
         particle = dtd.declaration("a").particle
         occurrences = [child.occurrence for child in particle.children]
         assert occurrences == [Occurrence.PLUS, Occurrence.STAR, Occurrence.OPTIONAL]
 
     def test_nested_groups(self):
-        dtd = parse_dtd("<!ELEMENT a ((b | c)+, d)><!ELEMENT b EMPTY><!ELEMENT c EMPTY><!ELEMENT d EMPTY>")
+        dtd = parse_dtd(
+            "<!ELEMENT a ((b | c)+, d)><!ELEMENT b EMPTY>"
+            "<!ELEMENT c EMPTY><!ELEMENT d EMPTY>"
+        )
         assert dtd.declaration("a").child_names() == {"b", "c", "d"}
 
 

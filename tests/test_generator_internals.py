@@ -1,7 +1,6 @@
 """Tests for advertisement-generation internals (cycle regions,
 laminar merging) and generation edge cases."""
 
-import pytest
 
 from repro.adverts.generator import (
     _build_advertisement,

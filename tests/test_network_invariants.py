@@ -5,7 +5,6 @@ every routing strategy delivers exactly the same (subscriber, document)
 set as flooding — the optimisations change traffic, never delivery.
 """
 
-import random
 
 import pytest
 

@@ -13,7 +13,7 @@ from repro.covering import SubscriptionTree, covers, matches_path
 from repro.errors import XPathSyntaxError
 from repro.network.wire import decode, encode
 from repro.broker.messages import PublishMsg, SubscribeMsg
-from repro.xmldoc import Publication, XMLDocument
+from repro.xmldoc import XMLDocument
 from repro.xpath import Predicate, PredicateOp, parse_xpath
 
 

@@ -1,6 +1,5 @@
 """Unit tests for the subscription tree (paper §4.1)."""
 
-import pytest
 
 from repro.covering.subscription_tree import SubscriptionTree
 from repro.xpath import parse_xpath

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import XPathSyntaxError
-from repro.xpath import Axis, Step, WILDCARD, XPathExpr, parse_xpath, try_parse_xpath
+from repro.xpath import Axis, Step, XPathExpr, parse_xpath, try_parse_xpath
 
 
 class TestParseAbsolute:
