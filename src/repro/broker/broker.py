@@ -158,7 +158,12 @@ class Broker:
         toward it (so subscription/advertisement arrival order does not
         matter)."""
         if not self.srt.add(msg.adv_id, msg.advert, from_hop, msg.publisher_id):
-            return []  # duplicate: flooding terminates here
+            # duplicate (flooding cycle or at-least-once redelivery,
+            # e.g. a neighbour re-announcing after crash recovery):
+            # flooding terminates here and no state changes.
+            self.stats["redelivered"] += 1
+            obs.inc("broker.redelivered.advertise")
+            return []
         flood = True
         if self.advert_covers is not None:
             flood = self.advert_covers.add(msg.adv_id, msg.advert, from_hop)
@@ -204,6 +209,8 @@ class Broker:
             entry.adv_id: entry for entry in self.srt.entries()
         }
         if not self.srt.remove(msg.adv_id):
+            self.stats["redelivered"] += 1
+            obs.inc("broker.redelivered.unadvertise")
             return []
         out: Outbound = [(n, msg) for n in self.neighbors if n != from_hop]
         if self.advert_covers is not None:
@@ -227,6 +234,16 @@ class Broker:
 
     def handle_subscribe(self, msg: SubscribeMsg, from_hop: object) -> Outbound:
         expr = msg.expr
+        if from_hop in self._keys_of(expr):
+            # At-least-once redelivery of a subscription this broker
+            # already holds for this hop: re-applying it must not touch
+            # the covering tree, last-hop tables or the merge cadence —
+            # everything it could trigger already happened.
+            self.stats["redelivered"] += 1
+            obs.inc("broker.redelivered.subscribe")
+            if from_hop in self.local_clients:
+                self.client_subs[from_hop].add(expr)
+            return []
         if from_hop in self.local_clients:
             self.client_subs[from_hop].add(expr)
 
@@ -329,6 +346,12 @@ class Broker:
         expr = msg.expr
         if from_hop in self.local_clients:
             self.client_subs[from_hop].discard(expr)
+        if from_hop not in self._keys_of(expr):
+            # unknown (already removed, or redelivered) — a no-op, so
+            # retrying an unsubscription can never corrupt the tables.
+            self.stats["redelivered"] += 1
+            obs.inc("broker.redelivered.unsubscribe")
+            return []
 
         out: Outbound = []
         if self.config.covering:

@@ -42,6 +42,17 @@ def _load_dtd(args):
         return parse_dtd(handle.read())
 
 
+def _add_faults_option(parser):
+    parser.add_argument(
+        "--faults",
+        metavar="SPEC",
+        default=None,
+        help="inject link faults with the reliability layer engaged, "
+        "e.g. 'drop=0.1,dup=0.05,seed=7' (see "
+        "repro.network.faults.FaultPlan.from_spec)",
+    )
+
+
 def _add_dtd_options(parser):
     parser.add_argument("dtd_file", nargs="?", help="path to a DTD file")
     parser.add_argument(
@@ -107,6 +118,16 @@ def cmd_covers(args) -> int:
     return 0 if answer else 1
 
 
+def _parse_faults(args):
+    """Turn the ``--faults SPEC`` option into a FaultPlan (or None)."""
+    spec = getattr(args, "faults", None)
+    if not spec:
+        return None
+    from repro.network.faults import FaultPlan
+
+    return FaultPlan.from_spec(spec)
+
+
 def cmd_simulate(args) -> int:
     from repro.experiments.tables23 import run_traffic_experiment
 
@@ -123,6 +144,7 @@ def cmd_simulate(args) -> int:
         strategies=strategies,
         seed=args.seed,
         check_delivery_equivalence=strategies is None,
+        faults=_parse_faults(args),
     )
     print(result.format())
     if metrics_out:
@@ -152,6 +174,7 @@ def cmd_stats(args) -> int:
         strategies=[strategy],
         seed=args.seed,
         check_delivery_equivalence=False,
+        faults=_parse_faults(args),
     )
     registry = obs.get_registry()
     if args.format == "line":
@@ -190,6 +213,8 @@ def cmd_experiments(args) -> int:
     if args.only:
         forwarded.append("--only")
         forwarded.extend(args.only)
+    if args.faults:
+        forwarded.extend(["--faults", args.faults])
     return experiments_main(forwarded)
 
 
@@ -242,6 +267,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="enable metrics and write the JSON snapshot here",
     )
+    _add_faults_option(p)
     p.set_defaults(fn=cmd_simulate)
 
     p = sub.add_parser(
@@ -256,6 +282,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=5)
     p.add_argument("--out", metavar="FILE", default=None)
     p.add_argument("--format", choices=("json", "line"), default="json")
+    _add_faults_option(p)
     p.set_defaults(fn=cmd_stats)
 
     p = sub.add_parser("experiments", help="reproduce the paper's tables/figures")
@@ -267,6 +294,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="enable metrics and write the JSON snapshot here",
     )
+    _add_faults_option(p)
     p.set_defaults(fn=cmd_experiments)
 
     return parser

@@ -62,7 +62,24 @@ def main(argv=None) -> int:
         help="enable hot-path metrics and write the observability "
         "snapshot (JSON) here after the run",
     )
+    parser.add_argument(
+        "--faults",
+        metavar="SPEC",
+        default=None,
+        help="run the overlay experiments (table2/table3) over faulty "
+        "links, e.g. 'drop=0.1,dup=0.05,seed=7' — see "
+        "repro.network.faults.FaultPlan.from_spec",
+    )
     args = parser.parse_args(argv)
+
+    faults = None
+    if args.faults:
+        from repro.network.faults import FaultPlan, FaultSpecError
+
+        try:
+            faults = FaultPlan.from_spec(args.faults)
+        except FaultSpecError as exc:
+            parser.error(str(exc))
 
     if args.metrics_out:
         from repro import obs
@@ -74,8 +91,8 @@ def main(argv=None) -> int:
         "fig7": lambda: run_fig7(scale=0.03 * args.scale),
         "fig8": lambda: run_fig8(scale=0.1 * args.scale),
         "table1": lambda: run_table1(scale=0.02 * args.scale),
-        "table2": lambda: run_table2(scale=args.scale),
-        "table3": lambda: run_table3(scale=args.scale),
+        "table2": lambda: run_table2(scale=args.scale, faults=faults),
+        "table3": lambda: run_table3(scale=args.scale, faults=faults),
         "fig9": lambda: run_fig9(scale=0.5 * args.scale),
         "fig10": lambda: run_fig10(scale=0.5 * args.scale),
         "fig11": lambda: run_fig11(scale=0.5 * args.scale),

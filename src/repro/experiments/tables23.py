@@ -42,8 +42,17 @@ def run_traffic_experiment(
     seed: int = 5,
     merge_interval: int = 50,
     check_delivery_equivalence: bool = True,
+    faults=None,
 ) -> ExperimentResult:
-    """Run the Tables 2/3 experiment on a ``levels``-deep broker tree."""
+    """Run the Tables 2/3 experiment on a ``levels``-deep broker tree.
+
+    ``faults`` optionally installs a
+    :class:`~repro.network.faults.FaultPlan` on every overlay (the plan
+    is stateless and shareable), running the experiment over degraded
+    links with the reliability layer engaged — the PlanetLab-style
+    condition.  Delivery equivalence continues to hold: reliable
+    links plus idempotent handlers mask the faults.
+    """
     if strategies is None:
         strategies = RoutingConfig.ALL_NAMES
     dtd = psd_dtd()
@@ -73,6 +82,7 @@ def run_traffic_experiment(
             latency_model=ClusterLatency(seed=seed),
             universe=universe,
             processing_scale=1.0,
+            faults=faults,
         )
         rng = random.Random(seed)
         leaves = overlay.leaf_brokers()

@@ -1,6 +1,14 @@
 """The discrete-event overlay network simulator."""
 
 from repro.network.clients import PublisherClient, SubscriberClient
+from repro.network.faults import (
+    CrashEvent,
+    FaultDecision,
+    FaultPlan,
+    FaultSpecError,
+    LinkFaults,
+    Partition,
+)
 from repro.network.latency import (
     ClusterLatency,
     ConstantLatency,
@@ -8,6 +16,7 @@ from repro.network.latency import (
     PlanetLabLatency,
 )
 from repro.network.overlay import Overlay
+from repro.network.reliable import Channel, ReliableTransport
 from repro.network.simulator import Simulator
 from repro.network.stats import DeliveryRecord, NetworkStats
 from repro.network.trace import TraceRecord, Tracer
@@ -16,6 +25,14 @@ from repro.network.wire import decode, encode
 __all__ = [
     "PublisherClient",
     "SubscriberClient",
+    "Channel",
+    "CrashEvent",
+    "FaultDecision",
+    "FaultPlan",
+    "FaultSpecError",
+    "LinkFaults",
+    "Partition",
+    "ReliableTransport",
     "ClusterLatency",
     "ConstantLatency",
     "LatencyModel",

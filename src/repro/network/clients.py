@@ -9,7 +9,9 @@ subscribers").
 from __future__ import annotations
 
 import itertools
-from typing import List, Optional, Sequence, Set, Union
+from typing import List, Optional, Sequence, Set, Tuple, Union
+
+from repro import obs
 
 from repro.adverts.generator import generate_advertisements
 from repro.adverts.model import Advertisement
@@ -41,6 +43,13 @@ class SubscriberClient:
         self.broker_id = broker_id
         self.subscriptions: Set[XPathExpr] = set()
         self.received: List[PublishMsg] = []
+        #: (doc_id, path_id) pairs already delivered — the explicit
+        #: duplicate filter: a redelivered publication (retransmission,
+        #: crash-recovery replay) is counted once and only once.
+        self._seen_publications: Set[Tuple[str, int]] = set()
+        #: Redeliveries suppressed so far (also mirrored into the
+        #: ``network.clients.duplicates`` metric).
+        self.duplicates = 0
 
     def subscribe(self, expr: Union[str, XPathExpr]):
         expr = _as_expr(expr)
@@ -55,9 +64,20 @@ class SubscriberClient:
             UnsubscribeMsg(expr=expr, subscriber_id=self.client_id),
         )
 
-    def receive(self, msg: PublishMsg, hops: int):
-        """Called by the overlay when the edge broker delivers a path."""
+    def receive(self, msg: PublishMsg, hops: int) -> bool:
+        """Called by the overlay when the edge broker delivers a path.
+
+        Returns True for a first delivery; a redelivered publication
+        (same doc id and path id) is suppressed and returns False.
+        """
+        key = (msg.publication.doc_id, msg.publication.path_id)
+        if key in self._seen_publications:
+            self.duplicates += 1
+            obs.inc("network.clients.duplicates")
+            return False
+        self._seen_publications.add(key)
         self.received.append(msg)
+        return True
 
     def delivered_documents(self) -> Set[str]:
         """Distinct document ids seen so far."""
@@ -74,10 +94,14 @@ class SubscriberClient:
 
     def matched_paths(self, doc_id: str) -> List[tuple]:
         """Distinct matched paths of one document (arrival order)."""
-        seen = {}
+        distinct: List[tuple] = []
+        seen: Set[tuple] = set()
         for msg in self.received_publications(doc_id):
-            seen.setdefault(msg.publication.path)
-        return list(seen)
+            path = msg.publication.path
+            if path not in seen:
+                seen.add(path)
+                distinct.append(path)
+        return distinct
 
     def __repr__(self):
         return "SubscriberClient(%r@%r, %d subs, %d received)" % (

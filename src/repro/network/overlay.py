@@ -12,15 +12,16 @@ modelled wide-area latency with the real cost of routing-table matching
 from __future__ import annotations
 
 import time
-from typing import Dict, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro import obs
 from repro.broker.broker import Broker
-from repro.broker.messages import Message, PublishMsg
+from repro.broker.messages import AdvertiseMsg, Message, PublishMsg
 from repro.broker.strategies import RoutingConfig
 from repro.errors import RoutingError, TopologyError
 from repro.merging.engine import PathUniverse
 from repro.network.clients import PublisherClient, SubscriberClient
+from repro.network.faults import FaultPlan
 from repro.network.latency import ClusterLatency, LatencyModel
 from repro.network.simulator import Simulator
 from repro.network.stats import DeliveryRecord, NetworkStats
@@ -44,6 +45,10 @@ class Overlay:
             hot-path instrumentation already uses, so
             ``overlay.metrics.snapshot()`` unifies traffic, delay and
             timing (see :meth:`metrics_snapshot`).
+        faults: install a :class:`~repro.network.faults.FaultPlan` up
+            front (equivalent to calling :meth:`install_faults`).
+            Without one, messages are scheduled directly — the
+            fault-free, zero-overhead path.
     """
 
     def __init__(
@@ -54,6 +59,7 @@ class Overlay:
         processing_scale: float = 1.0,
         queueing: bool = False,
         metrics: Optional[MetricsRegistry] = None,
+        faults: Optional[FaultPlan] = None,
     ):
         self.config = config if config is not None else RoutingConfig.full()
         self.latency_model = (
@@ -76,6 +82,125 @@ class Overlay:
         #: load instead of overlapping for free.
         self.queueing = queueing
         self._busy_until: Dict[str, float] = {}
+        #: Reliable transport + fault schedule (see install_faults);
+        #: None keeps the original direct-delivery fast path.
+        self._transport = None
+        self._down: Set[str] = set()
+        self._crash_state: Dict[str, Optional[Dict]] = {}
+        self._held_while_down: Dict[str, List[Tuple[Message, object, int]]] = {}
+        if faults is not None:
+            self.install_faults(faults)
+
+    # -- fault injection ---------------------------------------------------
+
+    @property
+    def faults(self) -> Optional[FaultPlan]:
+        return self._transport.plan if self._transport is not None else None
+
+    @property
+    def transport(self):
+        """The installed :class:`~repro.network.reliable.ReliableTransport`
+        (None while running fault-free)."""
+        return self._transport
+
+    def install_faults(self, plan: FaultPlan):
+        """Route broker-to-broker traffic through the reliable transport,
+        filtered by *plan*, and schedule its broker crash events.
+
+        Returns the transport so callers can inspect its ``stats``.
+        """
+        from repro.network.reliable import ReliableTransport
+
+        if self._transport is not None:
+            raise TopologyError("a fault plan is already installed")
+        self._transport = ReliableTransport(self, plan)
+        for event in plan.crashes:
+            if event.at < self.sim.now:
+                raise TopologyError(
+                    "crash of %r at %g lies in the past" % (event.broker_id, event.at)
+                )
+            self.sim.schedule(
+                event.at - self.sim.now,
+                lambda e=event: self.crash_broker(e.broker_id, e.with_state),
+            )
+            self.sim.schedule(
+                event.restart_at - self.sim.now,
+                lambda e=event: self.recover_broker(e.broker_id),
+            )
+        return self._transport
+
+    def is_down(self, broker_id: object) -> bool:
+        return broker_id in self._down
+
+    def crash_broker(self, broker_id: str, with_state: bool = True):
+        """Kill a broker mid-run (requires an installed fault plan).
+
+        With ``with_state`` its routing state is snapshotted (the
+        persisted image a real process would have on disk) for
+        :meth:`recover_broker` to replay.
+        """
+        if self._transport is None:
+            raise TopologyError(
+                "crash_broker needs a fault plan installed (install_faults)"
+            )
+        if broker_id not in self.brokers:
+            raise TopologyError("unknown broker %r" % broker_id)
+        if broker_id in self._down:
+            raise TopologyError("broker %r is already down" % broker_id)
+        from repro.broker.persistence import snapshot
+
+        self._down.add(broker_id)
+        self._crash_state[broker_id] = (
+            snapshot(self.brokers[broker_id]) if with_state else None
+        )
+        self._busy_until.pop(broker_id, None)
+        self._transport._count("crashes", "broker.crashes")
+
+    def recover_broker(self, broker_id: str):
+        """Bring a crashed broker back: replay its persisted snapshot
+        (when taken), reset the channel epochs of its links, resend
+        what the reset surfaced, replay messages its local clients
+        submitted while it was down, and re-announce its stored
+        advertisements to the neighbours (idempotent at the receivers:
+        duplicate advertisements terminate at the SRT)."""
+        if broker_id not in self._down:
+            raise TopologyError("broker %r is not down" % broker_id)
+        from repro.broker.persistence import restore
+
+        state = self._crash_state.pop(broker_id)
+        with_state = state is not None
+        old = self.brokers[broker_id]
+        if with_state:
+            replacement = restore(state, universe=self.universe)
+        else:
+            replacement = Broker(
+                broker_id=broker_id, config=self.config, universe=self.universe
+            )
+            for neighbor in old.neighbors:
+                replacement.connect(neighbor)
+            for client in old.local_clients:
+                replacement.attach_client(client)
+        self.brokers[broker_id] = replacement
+        self._down.discard(broker_id)
+        self._transport.reset_links_of(broker_id, resend_outbox=with_state)
+        for message, from_hop, hops in self._held_while_down.pop(broker_id, ()):
+            self.sim.schedule(
+                0.0,
+                lambda m=message, f=from_hop, h=hops:
+                    self._broker_receive(broker_id, m, f, h),
+            )
+        if with_state:
+            for entry in replacement.srt.entries():
+                announce = AdvertiseMsg(
+                    adv_id=entry.adv_id,
+                    advert=entry.advert,
+                    publisher_id=entry.publisher_id,
+                )
+                for neighbor in sorted(replacement.neighbors, key=str):
+                    if neighbor != entry.last_hop:
+                        self._transport.send(broker_id, neighbor, announce, 1)
+        self._transport._count("recoveries", "broker.recoveries")
+        return replacement
 
     # -- construction -----------------------------------------------------
 
@@ -207,9 +332,31 @@ class Overlay:
             tracer.registry = self.metrics
         return tracer
 
+    def transport_deliver(
+        self, broker_id: str, message: Message, from_hop: object, hops: int
+    ):
+        """In-order, deduplicated delivery from the reliable transport."""
+        self._broker_receive(broker_id, message, from_hop, hops)
+
+    def link_latency(
+        self, src: object, dst: object, message: Optional[Message]
+    ) -> float:
+        """Link delay for one frame (None models a small control frame)."""
+        size = 64 if message is None else _size_of(message)
+        return self.latency_model.latency(src, dst, size)
+
     def _broker_receive(
         self, broker_id: str, message: Message, from_hop: str, hops: int
     ):
+        if self._down and broker_id in self._down:
+            # A directly-scheduled message (client edge) reached a dead
+            # broker: hold it and replay on recovery, as a reconnecting
+            # client library would.
+            self._held_while_down.setdefault(broker_id, []).append(
+                (message, from_hop, hops)
+            )
+            self._transport._count("held_while_down", "network.faults.held")
+            return
         self.stats.record_broker_message(broker_id, message.kind)
         for tracer in self._tracers:
             tracer.record(self.sim.now, broker_id, message, from_hop)
@@ -244,17 +391,27 @@ class Overlay:
         processing: float,
         hops: int,
     ):
-        latency = processing + self.latency_model.latency(
-            src_broker, destination, _size_of(message)
-        )
         if destination in self.brokers:
+            if self._transport is not None:
+                self._transport.send(
+                    src_broker, destination, message, hops + 1,
+                    first_delay=processing,
+                )
+                return
+            latency = processing + self.latency_model.latency(
+                src_broker, destination, _size_of(message)
+            )
             self.sim.schedule(
                 latency,
                 lambda: self._broker_receive(
                     destination, message, src_broker, hops + 1
                 ),
             )
-        elif destination in self.subscribers:
+            return
+        latency = processing + self.latency_model.latency(
+            src_broker, destination, _size_of(message)
+        )
+        if destination in self.subscribers:
             self.sim.schedule(
                 latency,
                 lambda: self._client_receive(destination, message, hops),
@@ -268,7 +425,10 @@ class Overlay:
     def _client_receive(self, client_id: str, message: Message, hops: int):
         self.stats.record_client_message()
         client = self.subscribers[client_id]
-        if isinstance(message, PublishMsg):
+        fresh = client.receive(message, hops)
+        if fresh and isinstance(message, PublishMsg):
+            # duplicates (client.receive returned False) never reach the
+            # delivery statistics: redelivered publications count once.
             self.stats.record_delivery(
                 DeliveryRecord(
                     subscriber_id=client_id,
@@ -279,7 +439,6 @@ class Overlay:
                     hops=hops,
                 )
             )
-        client.receive(message, hops)
 
     def run(self, max_events: Optional[int] = None) -> int:
         """Drain all pending traffic; returns processed event count."""
@@ -301,6 +460,9 @@ class Overlay:
             )
         document = self.metrics.snapshot()
         document["network"] = self.stats.summary()
+        if self._transport is not None:
+            document["transport"] = dict(self._transport.stats)
+            document["faults"] = self._transport.plan.describe()
         return document
 
     def routing_table_sizes(self) -> Dict[str, int]:

@@ -1,0 +1,302 @@
+"""Reliable delivery over faulty links (simulator transport).
+
+With a :class:`~repro.network.faults.FaultPlan` installed, every
+broker-to-broker hop of an :class:`~repro.network.overlay.Overlay`
+travels through this transport instead of being scheduled directly:
+
+* each directed link is a **channel** carrying sequence-numbered data
+  frames and cumulative acknowledgements;
+* unacknowledged frames are **retransmitted** after a timeout that
+  backs off exponentially (capped), so drops, partitions and crashed
+  receivers are survived;
+* the receiver **suppresses duplicates** and delivers strictly
+  **in order** (out-of-order frames are buffered until the gap fills),
+  so reordered and duplicated transmissions never reach a broker
+  twice or early;
+* acknowledgements are cumulative over *delivered* frames only, so a
+  crash cannot lose frames that were buffered but never handed to the
+  broker — the peer still holds them unacknowledged and resends them
+  on the post-recovery channel epoch.
+
+Together with idempotent broker handlers and crash recovery from
+persisted snapshots this gives at-least-once transmission with
+effectively exactly-once routing-state updates.
+
+Frames are plain Python here (the simulator passes objects by
+reference); the byte-level twin of this protocol lives in
+:mod:`repro.network.wire` / :mod:`repro.network.sockets`.
+
+Traffic accounting note: :class:`~repro.network.stats.NetworkStats`
+keeps counting *application* messages received by brokers (the paper's
+Tables 2–3 metric), which the transport deduplicates.  Physical frame
+counts, retransmissions and fault events are reported separately under
+``network.transport.*`` / ``network.faults.*`` / ``broker.*`` metrics
+and in :attr:`ReliableTransport.stats`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Tuple
+
+from repro.broker.messages import Message
+from repro.network.faults import FaultPlan
+
+
+class Channel:
+    """One directed link's reliability state.
+
+    Sender-side fields live at ``src`` (sequence allocation, unacked
+    frames, per-frame timeout), receiver-side fields at ``dst``
+    (next expected sequence, out-of-order buffer); co-locating them in
+    one object is a simulator convenience.  ``epoch`` guards against
+    frames and acknowledgements from before a channel reset (broker
+    restart): stale deliveries are discarded.
+    """
+
+    __slots__ = (
+        "src", "dst", "epoch", "next_seq", "unacked", "rto_of",
+        "attempts", "tx_index", "expected", "buffer",
+    )
+
+    def __init__(self, src: object, dst: object):
+        self.src = src
+        self.dst = dst
+        self.epoch = 0
+        self.next_seq = 0
+        #: seq -> (message, hops) awaiting cumulative acknowledgement.
+        self.unacked: Dict[int, Tuple[Message, int]] = {}
+        self.rto_of: Dict[int, float] = {}
+        self.attempts: Dict[int, int] = {}
+        #: physical transmission counter — the index fed to
+        #: :meth:`FaultPlan.decide`, shared by data and ack frames so
+        #: the fault schedule of a link direction is one stream.
+        self.tx_index = 0
+        self.expected = 0
+        self.buffer: Dict[int, Tuple[Message, int]] = {}
+
+    def reset(self) -> List[Tuple[Message, int]]:
+        """Start a new epoch, returning the unacked frames in sequence
+        order (the caller decides whether to resend them)."""
+        pending = [self.unacked[seq] for seq in sorted(self.unacked)]
+        self.epoch += 1
+        self.next_seq = 0
+        self.unacked = {}
+        self.rto_of = {}
+        self.attempts = {}
+        self.expected = 0
+        self.buffer = {}
+        return pending
+
+
+class ReliableTransport:
+    """Sequence/ack/retransmit machinery for one overlay.
+
+    Args:
+        overlay: the owning :class:`~repro.network.overlay.Overlay`.
+        plan: the fault schedule every transmission is filtered through.
+        max_attempts: per-frame transmission cap; a frame still unacked
+            after this many sends is abandoned (counted, never silently)
+            so a permanently dead peer cannot spin the simulator
+            forever.
+    """
+
+    #: retransmission timeouts back off exponentially up to this
+    #: multiple of the plan's initial rto.
+    RTO_CAP_FACTOR = 64.0
+
+    def __init__(self, overlay, plan: FaultPlan, max_attempts: int = 50):
+        self.overlay = overlay
+        self.plan = plan
+        self.max_attempts = max_attempts
+        self.channels: Dict[Tuple[object, object], Channel] = {}
+        self.stats: Dict[str, int] = defaultdict(int)
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def channel(self, src: object, dst: object) -> Channel:
+        channel = self.channels.get((src, dst))
+        if channel is None:
+            channel = self.channels[(src, dst)] = Channel(src, dst)
+        return channel
+
+    def _count(self, stat: str, metric: str, amount: int = 1):
+        self.stats[stat] += amount
+        metrics = self.overlay.metrics
+        if metrics.enabled:
+            metrics.counter(metric).inc(amount)
+
+    # -- sending -----------------------------------------------------------
+
+    def send(
+        self, src: object, dst: object, message: Message, hops: int,
+        first_delay: float = 0.0,
+    ):
+        """Reliably deliver *message* over the src→dst link.
+
+        ``hops`` is the hop count the receiver should observe;
+        ``first_delay`` models sender-side processing before the first
+        transmission (retransmissions skip it).
+        """
+        channel = self.channel(src, dst)
+        seq = channel.next_seq
+        channel.next_seq += 1
+        channel.unacked[seq] = (message, hops)
+        channel.rto_of[seq] = self.plan.rto
+        channel.attempts[seq] = 0
+        self._count("sent", "network.transport.sent")
+        self._transmit(channel, seq, message, hops, extra=first_delay)
+        self._schedule_retransmit(
+            channel, seq, channel.epoch, first_delay + self.plan.rto
+        )
+
+    def _transmit(
+        self, channel: Channel, seq: int, message: Message, hops: int,
+        extra: float = 0.0,
+    ):
+        channel.attempts[seq] = channel.attempts.get(seq, 0) + 1
+        decision = self.plan.decide(
+            channel.src, channel.dst, channel.tx_index, self.overlay.sim.now
+        )
+        channel.tx_index += 1
+        self._count("frames", "network.transport.frames")
+        if decision.partitioned:
+            self._count("partitioned", "network.faults.partitioned")
+            return
+        if decision.dropped:
+            self._count("dropped", "network.faults.dropped")
+            return
+        if decision.copies > 1:
+            self._count("duplicated", "network.faults.duplicated")
+        if decision.reordered:
+            self._count("reordered", "network.faults.reordered")
+        latency = self.overlay.link_latency(channel.src, channel.dst, message)
+        epoch = channel.epoch
+        for copy in range(decision.copies):
+            # the duplicate trails the original by a hair so "arrives
+            # twice" and "arrives out of order" stay distinct faults.
+            delay = extra + latency + decision.extra_delay + copy * 1e-9
+            self.overlay.sim.schedule(
+                delay,
+                lambda c=channel, e=epoch, s=seq, m=message, h=hops:
+                    self._deliver_data(c, e, s, m, h),
+            )
+
+    def _schedule_retransmit(
+        self, channel: Channel, seq: int, epoch: int, delay: float
+    ):
+        self.overlay.sim.schedule(
+            delay,
+            lambda c=channel, e=epoch, s=seq: self._retransmit_check(c, e, s),
+        )
+
+    def _retransmit_check(self, channel: Channel, epoch: int, seq: int):
+        if epoch != channel.epoch or seq not in channel.unacked:
+            return  # acknowledged, or superseded by a channel reset
+        if self.overlay.is_down(channel.src):
+            return  # sender died; recovery resends its outbox
+        if channel.attempts.get(seq, 0) >= self.max_attempts:
+            self._count("abandoned", "network.transport.abandoned")
+            channel.unacked.pop(seq, None)
+            channel.rto_of.pop(seq, None)
+            return
+        rto = min(
+            channel.rto_of[seq] * 2.0, self.plan.rto * self.RTO_CAP_FACTOR
+        )
+        channel.rto_of[seq] = rto
+        self._count("retransmits", "broker.retransmits")
+        message, hops = channel.unacked[seq]
+        self._transmit(channel, seq, message, hops)
+        self._schedule_retransmit(channel, seq, channel.epoch, rto)
+
+    # -- receiving ---------------------------------------------------------
+
+    def _deliver_data(
+        self, channel: Channel, epoch: int, seq: int, message: Message,
+        hops: int,
+    ):
+        if epoch != channel.epoch:
+            self._count("stale", "network.transport.stale")
+            return
+        if self.overlay.is_down(channel.dst):
+            self._count("crash_dropped", "network.faults.crash_dropped")
+            return
+        if seq < channel.expected or seq in channel.buffer:
+            self._count("dup_suppressed", "broker.dup_suppressed")
+            self._send_ack(channel)
+            return
+        channel.buffer[seq] = (message, hops)
+        while channel.expected in channel.buffer:
+            ready, ready_hops = channel.buffer.pop(channel.expected)
+            channel.expected += 1
+            self.overlay.transport_deliver(
+                channel.dst, ready, channel.src, ready_hops
+            )
+        self._send_ack(channel)
+
+    def _send_ack(self, channel: Channel):
+        """Cumulative ack of everything delivered in order so far.
+
+        Acks physically ride the reverse link direction, so they draw
+        fault decisions from the reverse channel's transmission stream
+        (and can be dropped, delayed or duplicated like any frame —
+        a lost ack just means one more retransmission).
+        """
+        reverse = self.channel(channel.dst, channel.src)
+        decision = self.plan.decide(
+            reverse.src, reverse.dst, reverse.tx_index, self.overlay.sim.now
+        )
+        reverse.tx_index += 1
+        self._count("acks", "network.transport.acks")
+        if decision.partitioned:
+            self._count("partitioned", "network.faults.partitioned")
+            return
+        if decision.dropped:
+            self._count("dropped", "network.faults.dropped")
+            return
+        ack = channel.expected - 1
+        epoch = channel.epoch
+        latency = self.overlay.link_latency(channel.dst, channel.src, None)
+        for copy in range(decision.copies):
+            self.overlay.sim.schedule(
+                latency + decision.extra_delay + copy * 1e-9,
+                lambda c=channel, e=epoch, a=ack: self._deliver_ack(c, e, a),
+            )
+
+    def _deliver_ack(self, channel: Channel, epoch: int, ack: int):
+        if epoch != channel.epoch or self.overlay.is_down(channel.src):
+            return
+        for seq in [s for s in channel.unacked if s <= ack]:
+            del channel.unacked[seq]
+            channel.rto_of.pop(seq, None)
+            channel.attempts.pop(seq, None)
+
+    # -- crash recovery ----------------------------------------------------
+
+    def reset_links_of(self, broker_id: object, resend_outbox: bool):
+        """Start fresh channel epochs on every link touching *broker_id*
+        (both directions) and resend what the reset surfaced.
+
+        The surviving neighbour always resends its unacknowledged
+        frames; the restarted broker's own outbox is resent only when
+        its state was recovered (``resend_outbox``) — a stateless
+        restart forgets in-flight output exactly like a real process.
+        """
+        for (src, dst), channel in sorted(
+            self.channels.items(), key=lambda item: (str(item[0][0]), str(item[0][1]))
+        ):
+            if broker_id not in (src, dst):
+                continue
+            pending = channel.reset()
+            if src == broker_id and not resend_outbox:
+                self._count(
+                    "forgotten_outbox", "network.transport.forgotten",
+                    len(pending),
+                )
+                continue
+            for message, hops in pending:
+                self.send(src, dst, message, hops)
+
+    def in_flight(self) -> int:
+        """Unacknowledged frames across all channels (debug/tests)."""
+        return sum(len(c.unacked) for c in self.channels.values())

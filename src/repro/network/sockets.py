@@ -26,42 +26,142 @@ single-threaded state machines, exactly as in the simulator).  The
 implementation favours clarity over raw throughput — it exists to show
 the routing layer is transport-independent and to back the integration
 tests in tests/test_sockets.py.
+
+Reliability: every message travels as a sequence-numbered data frame
+(:func:`repro.network.wire.encode_data_frame`) acknowledged per frame;
+a retransmission thread resends unacknowledged frames with exponential
+backoff and the receiver suppresses duplicate sequence numbers, so the
+deployment survives lossy transports.  TCP itself never loses bytes —
+the loss the layer heals is injected via ``loss_rate`` (dropping
+physical sends before the socket), which is how the integration tests
+exercise retransmission without leaving localhost.
 """
 
 from __future__ import annotations
 
+import random
 import socket
 import threading
-from typing import Dict, List, Optional, Set, Tuple
+import time
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
+from repro import obs
 from repro.broker.broker import Broker
 from repro.broker.messages import Message, PublishMsg
 from repro.broker.strategies import RoutingConfig
 from repro.errors import RoutingError
-from repro.network.wire import decode, encode
+from repro.network.wire import (
+    decode_frame,
+    encode_ack_frame,
+    encode_data_frame,
+)
 
 
 class _Connection:
-    """One framed peer connection with a reader thread."""
+    """One reliable framed peer connection with a reader thread.
 
-    def __init__(self, sock: socket.socket, peer_name: str, on_message):
+    Args:
+        sock: the connected socket.
+        peer_name: broker/client id of the far end.
+        on_message: ``callback(peer_name, message)`` for each
+            application message (duplicates are suppressed before it).
+        drop_send: optional fault hook ``f(payload_bytes) -> bool``;
+            returning True discards that physical transmission (the
+            retransmission loop recovers it).
+        rto: initial retransmission timeout, seconds.
+        max_attempts: per-frame transmission cap before giving up.
+    """
+
+    #: retransmission backoff doubles up to this multiple of the
+    #: initial rto — uncapped, a lossy streak can push the next retry
+    #: out tens of seconds and stall an otherwise-healthy link.
+    RTO_CAP_FACTOR = 8.0
+
+    def __init__(
+        self,
+        sock: socket.socket,
+        peer_name: str,
+        on_message,
+        drop_send: Optional[Callable[[bytes], bool]] = None,
+        rto: float = 0.05,
+        max_attempts: int = 30,
+    ):
         self.sock = sock
         self.peer_name = peer_name
         self._on_message = on_message
+        self._drop_send = drop_send
+        self._rto = rto
+        self._max_attempts = max_attempts
         self._send_lock = threading.Lock()
+        self._state_lock = threading.Lock()
+        self._next_seq = 0
+        #: seq -> [payload, attempts, resend-deadline (monotonic)]
+        self._unacked: Dict[int, list] = {}
+        self._delivered_seqs: Set[int] = set()
+        self.stats: Dict[str, int] = {
+            "sent": 0, "retransmits": 0, "dup_suppressed": 0,
+            "acks": 0, "abandoned": 0, "injected_drops": 0,
+        }
         self._thread = threading.Thread(target=self._read_loop, daemon=True)
+        self._retransmitter = threading.Thread(
+            target=self._retransmit_loop, daemon=True
+        )
         self._closed = threading.Event()
 
     def start(self):
         self._thread.start()
+        self._retransmitter.start()
 
     def send(self, message: Message):
-        payload = encode(message)
+        with self._state_lock:
+            seq = self._next_seq
+            self._next_seq += 1
+            payload = encode_data_frame(seq, message)
+            self._unacked[seq] = [
+                payload, 1, time.monotonic() + self._rto
+            ]
+            self.stats["sent"] += 1
+        self._transmit(payload)
+
+    def _transmit(self, payload: bytes):
+        if self._drop_send is not None and self._drop_send(payload):
+            self.stats["injected_drops"] += 1
+            return
         with self._send_lock:
             try:
                 self.sock.sendall(payload)
             except OSError:
                 self._closed.set()
+
+    def _retransmit_loop(self):
+        tick = max(self._rto / 4.0, 0.005)
+        while not self._closed.is_set():
+            time.sleep(tick)
+            now = time.monotonic()
+            due = []
+            with self._state_lock:
+                for seq, record in list(self._unacked.items()):
+                    payload, attempts, deadline = record
+                    if now < deadline:
+                        continue
+                    if attempts >= self._max_attempts:
+                        del self._unacked[seq]
+                        self.stats["abandoned"] += 1
+                        continue
+                    record[1] = attempts + 1
+                    record[2] = now + min(
+                        self._rto * (2 ** attempts),
+                        self._rto * self.RTO_CAP_FACTOR,
+                    )
+                    due.append(payload)
+                    self.stats["retransmits"] += 1
+            for payload in due:
+                obs.inc("broker.retransmits")
+                self._transmit(payload)
+
+    def unacked_count(self) -> int:
+        with self._state_lock:
+            return len(self._unacked)
 
     def close(self):
         self._closed.set()
@@ -84,12 +184,41 @@ class _Connection:
             while b"\n" in buffer:
                 line, buffer = buffer.split(b"\n", 1)
                 if line.strip():
-                    self._on_message(self.peer_name, decode(line))
+                    self._handle_line(line)
         self._closed.set()
+
+    def _handle_line(self, line: bytes):
+        frame = decode_frame(line)
+        if frame.kind == "ack":
+            with self._state_lock:
+                self._unacked.pop(frame.seq, None)
+            return
+        if frame.kind == "data":
+            # Ack first (even duplicates: their first ack may be the
+            # one that got lost), deliver once.
+            self.stats["acks"] += 1
+            self._transmit(encode_ack_frame(frame.seq))
+            with self._state_lock:
+                if frame.seq in self._delivered_seqs:
+                    self.stats["dup_suppressed"] += 1
+                    obs.inc("broker.dup_suppressed")
+                    return
+                self._delivered_seqs.add(frame.seq)
+            self._on_message(self.peer_name, frame.message)
+            return
+        # raw legacy frame: deliver as-is (no reliability contract)
+        self._on_message(self.peer_name, frame.message)
 
 
 class SocketBrokerNode:
-    """One broker process-equivalent: a TCP listener plus the broker."""
+    """One broker process-equivalent: a TCP listener plus the broker.
+
+    ``loss_rate`` injects sender-side transmission loss (each physical
+    frame send, data or ack, is discarded with that probability) so the
+    reliability layer's retransmission/dedup paths can be exercised
+    over loopback; ``loss_seed`` makes the injection reproducible and
+    ``rto`` tunes the retransmission timeout.
+    """
 
     def __init__(
         self,
@@ -98,9 +227,16 @@ class SocketBrokerNode:
         host: str = "127.0.0.1",
         port: int = 0,
         universe=None,
+        loss_rate: float = 0.0,
+        loss_seed: int = 0,
+        rto: float = 0.05,
     ):
         self.broker = Broker(broker_id, config=config, universe=universe)
         self.broker_id = broker_id
+        self.loss_rate = loss_rate
+        self.rto = rto
+        self._loss_rng = random.Random((loss_seed, broker_id).__repr__())
+        self._loss_lock = threading.Lock()
         self._listener = socket.create_server((host, port))
         self.host, self.port = self._listener.getsockname()
         self._connections: Dict[str, _Connection] = {}
@@ -110,6 +246,31 @@ class SocketBrokerNode:
         )
         self._stopping = threading.Event()
         self.delivered: List[Tuple[str, Message]] = []
+
+    def _drop_send(self, _payload: bytes) -> bool:
+        if self.loss_rate <= 0.0:
+            return False
+        with self._loss_lock:
+            return self._loss_rng.random() < self.loss_rate
+
+    def _make_connection(self, sock: socket.socket, peer: str) -> _Connection:
+        return _Connection(
+            sock,
+            peer,
+            self._on_message,
+            drop_send=self._drop_send if self.loss_rate > 0.0 else None,
+            rto=self.rto,
+        )
+
+    def transport_stats(self) -> Dict[str, int]:
+        """Aggregated reliability counters across this node's links."""
+        totals: Dict[str, int] = {}
+        with self._lock:
+            connections = list(self._connections.values())
+        for connection in connections:
+            for key, value in connection.stats.items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -131,7 +292,7 @@ class SocketBrokerNode:
         via the handshake line)."""
         sock = socket.create_connection((peer.host, peer.port))
         sock.sendall(("HELLO %s\n" % self.broker_id).encode("ascii"))
-        connection = _Connection(sock, peer.broker_id, self._on_message)
+        connection = self._make_connection(sock, peer.broker_id)
         with self._lock:
             self._connections[peer.broker_id] = connection
             self.broker.connect(peer.broker_id)
@@ -169,7 +330,7 @@ class SocketBrokerNode:
             sock.close()
             return
         peer_name = words[1]
-        connection = _Connection(sock, peer_name, self._on_message)
+        connection = self._make_connection(sock, peer_name)
         with self._lock:
             self._connections[peer_name] = connection
             if peer_name not in self.broker.neighbors:
@@ -178,7 +339,7 @@ class SocketBrokerNode:
         if rest.strip():
             for extra in rest.split(b"\n"):
                 if extra.strip():
-                    self._on_message(peer_name, decode(extra))
+                    connection._handle_line(extra)
 
     # -- message plumbing ------------------------------------------------------
 
@@ -205,21 +366,49 @@ class SocketBrokerNode:
 
 
 class LocalDeployment:
-    """A multi-broker TCP deployment on localhost."""
+    """A multi-broker TCP deployment on localhost.
 
-    def __init__(self, config: Optional[RoutingConfig] = None, universe=None):
+    ``loss_rate``/``loss_seed``/``rto`` propagate to every node's
+    connections (see :class:`SocketBrokerNode`) so a whole deployment
+    can run over injected-lossy links.
+    """
+
+    def __init__(
+        self,
+        config: Optional[RoutingConfig] = None,
+        universe=None,
+        loss_rate: float = 0.0,
+        loss_seed: int = 0,
+        rto: float = 0.05,
+    ):
         self.config = config
         self.universe = universe
+        self.loss_rate = loss_rate
+        self.loss_seed = loss_seed
+        self.rto = rto
         self.nodes: Dict[str, SocketBrokerNode] = {}
         self._links: Set[Tuple[str, str]] = set()
         self._clients: Dict[str, "DeployedClient"] = {}
 
     def add_broker(self, broker_id: str) -> SocketBrokerNode:
         node = SocketBrokerNode(
-            broker_id, config=self.config, universe=self.universe
+            broker_id,
+            config=self.config,
+            universe=self.universe,
+            loss_rate=self.loss_rate,
+            loss_seed=self.loss_seed,
+            rto=self.rto,
         )
         self.nodes[broker_id] = node
         return node
+
+    def transport_stats(self) -> Dict[str, int]:
+        """Reliability counters aggregated across the deployment."""
+        totals: Dict[str, int] = {}
+        for node in self.nodes.values():
+            for key, value in node.transport_stats().items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
 
     def link(self, a: str, b: str):
         self._links.add((a, b))
@@ -248,13 +437,19 @@ class LocalDeployment:
 
     def settle(self, timeout: float = 1.0):
         """Crude quiescence wait for tests: sleep-poll until no node has
-        handled a new message for a short grace period."""
-        import time
+        handled a new message — and no frame is awaiting an ack — for a
+        short grace period."""
 
         def totals():
-            return tuple(
+            handled = tuple(
                 sum(node.broker.stats.values()) for node in self.nodes.values()
             )
+            pending = sum(
+                connection.unacked_count()
+                for node in self.nodes.values()
+                for connection in list(node._connections.values())
+            )
+            return handled, pending
 
         deadline = time.time() + timeout
         last = totals()
@@ -265,7 +460,7 @@ class LocalDeployment:
             if current != last:
                 last = current
                 stable_since = time.time()
-            elif time.time() - stable_since > 0.1:
+            elif current[1] == 0 and time.time() - stable_since > 0.1:
                 return True
         return False
 

@@ -12,12 +12,24 @@ frame over TCP and to inspect on the wire):
 
 ``encode``/``decode`` are total inverses for every message kind; the
 property-based tests round-trip randomly generated messages.
+
+Reliable framing: the TCP deployment wraps messages in sequence-
+numbered **data frames** acknowledged by **ack frames** so lost or
+duplicated transmissions are retransmitted and suppressed (the byte-
+level twin of :mod:`repro.network.reliable`)::
+
+    {"kind":"data","seq":7,"msg":{"kind":"subscribe",...}}
+    {"kind":"ack","seq":7}
+
+``decode_frame`` also accepts a bare message object (a ``raw`` frame)
+so pre-framing peers and hand-written test fixtures keep working.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Union
+from dataclasses import dataclass
+from typing import Optional, Union
 
 from repro.adverts.model import Advertisement, AdvNode, Lit, Rep
 from repro.broker.messages import (
@@ -68,8 +80,8 @@ def advert_from_obj(obj) -> Advertisement:
     return Advertisement(tuple(_advert_node_from_obj(node) for node in obj))
 
 
-def encode(message: Message) -> bytes:
-    """Encode one message as a JSON line (with trailing newline)."""
+def message_to_obj(message: Message) -> dict:
+    """The JSON-ready object form of one protocol message."""
     if isinstance(message, AdvertiseMsg):
         obj = {
             "kind": "advertise",
@@ -108,11 +120,19 @@ def encode(message: Message) -> bytes:
             ]
     else:
         raise WireError("cannot encode message kind %r" % type(message).__name__)
+    return obj
+
+
+def encode(message: Message) -> bytes:
+    """Encode one message as a JSON line (with trailing newline)."""
+    return _as_line(message_to_obj(message))
+
+
+def _as_line(obj: dict) -> bytes:
     return (json.dumps(obj, separators=(",", ":")) + "\n").encode("utf-8")
 
 
-def decode(line: Union[bytes, str]) -> Message:
-    """Decode one JSON line back into a message object."""
+def _load_obj(line: Union[bytes, str]) -> dict:
     if isinstance(line, bytes):
         line = line.decode("utf-8")
     try:
@@ -121,6 +141,16 @@ def decode(line: Union[bytes, str]) -> Message:
         raise WireError("invalid JSON on the wire: %s" % exc)
     if not isinstance(obj, dict):
         raise WireError("wire object must be a JSON object")
+    return obj
+
+
+def decode(line: Union[bytes, str]) -> Message:
+    """Decode one JSON line back into a message object."""
+    return message_from_obj(_load_obj(line))
+
+
+def message_from_obj(obj: dict) -> Message:
+    """Rebuild a protocol message from its object form."""
     kind = obj.get("kind")
     try:
         if kind == "advertise":
@@ -162,3 +192,50 @@ def decode(line: Union[bytes, str]) -> Message:
     except KeyError as exc:
         raise WireError("missing wire field %s" % exc)
     raise WireError("unknown wire message kind %r" % (kind,))
+
+
+# -- reliable framing ------------------------------------------------------
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded wire frame.
+
+    ``kind`` is ``"data"`` (sequence-numbered message), ``"ack"``
+    (cumulative acknowledgement, ``message`` is None) or ``"raw"``
+    (an unframed legacy message, ``seq`` is None).
+    """
+
+    kind: str
+    seq: Optional[int]
+    message: Optional[Message]
+
+
+def encode_data_frame(seq: int, message: Message) -> bytes:
+    """A sequence-numbered data frame carrying one message."""
+    if seq < 0:
+        raise WireError("frame sequence numbers are non-negative")
+    return _as_line({"kind": "data", "seq": seq, "msg": message_to_obj(message)})
+
+
+def encode_ack_frame(seq: int) -> bytes:
+    """An acknowledgement for the data frame numbered *seq* (the
+    simulator transport acknowledges cumulatively, the TCP deployment
+    per frame; the wire form is the same)."""
+    return _as_line({"kind": "ack", "seq": seq})
+
+
+def decode_frame(line: Union[bytes, str]) -> Frame:
+    """Decode a frame line; bare messages come back as ``raw`` frames."""
+    obj = _load_obj(line)
+    kind = obj.get("kind")
+    if kind in ("data", "ack"):
+        seq = obj.get("seq")
+        if not isinstance(seq, int) or seq < 0:
+            raise WireError("frame %r carries no valid seq" % (kind,))
+        if kind == "ack":
+            return Frame(kind="ack", seq=seq, message=None)
+        payload = obj.get("msg")
+        if not isinstance(payload, dict):
+            raise WireError("data frame %d carries no message" % seq)
+        return Frame(kind="data", seq=seq, message=message_from_obj(payload))
+    return Frame(kind="raw", seq=None, message=message_from_obj(obj))

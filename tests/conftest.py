@@ -1,9 +1,16 @@
 """Shared test configuration.
 
-Hypothesis runs derandomised so the suite is deterministic run-to-run
-(the property tests have been exercised with random seeds during
-development; a release test suite should not flake).
+Hypothesis runs derandomised by default so the suite is deterministic
+run-to-run (the property tests have been exercised with random seeds
+during development; a release test suite should not flake).
+
+The CI ``chaos`` job opts back into randomness by exporting
+``HYPOTHESIS_PROFILE=chaos``: same settings, but examples are drawn
+from the seed pytest reports (``--hypothesis-seed``), so a failing
+seed can be captured as an artifact and replayed locally.
 """
+
+import os
 
 from hypothesis import HealthCheck, settings
 
@@ -13,4 +20,11 @@ settings.register_profile(
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow],
 )
-settings.load_profile("repro")
+settings.register_profile(
+    "chaos",
+    derandomize=False,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    print_blob=True,
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "repro"))

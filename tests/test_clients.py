@@ -93,3 +93,59 @@ class TestSubscriberViews:
         overlay, publisher, subscriber = wired_overlay()
         assert "pub" in repr(publisher)
         assert "sub" in repr(subscriber)
+
+
+class TestDuplicateSuppression:
+    """Redelivered publications (retransmission, crash-recovery replay)
+    must be counted once and only once at the subscriber."""
+
+    def make_msg(self, doc_id="d1", path_id=0):
+        from repro.broker.messages import PublishMsg
+        from repro.xmldoc import Publication
+
+        return PublishMsg(
+            publication=Publication(
+                doc_id=doc_id,
+                path_id=path_id,
+                path=("ProteinDatabase", "ProteinEntry", "sequence"),
+            ),
+            publisher_id="pub",
+        )
+
+    def test_receive_reports_first_delivery(self):
+        overlay, publisher, subscriber = wired_overlay()
+        msg = self.make_msg()
+        assert subscriber.receive(msg, hops=2) is True
+        assert subscriber.receive(msg, hops=2) is False
+        assert len(subscriber.received) == 1
+        assert subscriber.duplicates == 1
+
+    def test_distinct_paths_of_one_document_both_count(self):
+        overlay, publisher, subscriber = wired_overlay()
+        assert subscriber.receive(self.make_msg(path_id=0), hops=2)
+        assert subscriber.receive(self.make_msg(path_id=1), hops=2)
+        assert len(subscriber.received) == 2
+        assert subscriber.duplicates == 0
+
+    def test_matched_paths_distinct_in_arrival_order(self):
+        overlay, publisher, subscriber = wired_overlay()
+        # two publications carrying the same path (different path ids,
+        # as two documents' decompositions would produce)
+        subscriber.receive(self.make_msg(path_id=0), hops=2)
+        subscriber.receive(self.make_msg(path_id=1), hops=2)
+        assert subscriber.matched_paths("d1") == [
+            ("ProteinDatabase", "ProteinEntry", "sequence")
+        ]
+
+    def test_redelivery_never_reaches_delivery_stats(self):
+        overlay, publisher, subscriber = wired_overlay()
+        subscriber.subscribe("//sequence")
+        overlay.run()
+        publisher.publish_document(XMLDocument.parse(DOC, doc_id="d9"))
+        overlay.run()
+        delivered_before = len(overlay.stats.deliveries)
+        assert delivered_before == len(subscriber.received)
+        for msg in list(subscriber.received):
+            overlay._client_receive("sub", msg, hops=2)
+        assert len(overlay.stats.deliveries) == delivered_before
+        assert subscriber.duplicates == delivered_before

@@ -1,0 +1,310 @@
+"""Unit tests for the deterministic fault-injection layer.
+
+Covers the FaultPlan itself (determinism, spec parsing, partitions,
+crash schedules) and the reliable transport's survival of single
+faults; whole-workload convergence lives in
+tests/test_chaos_convergence.py.
+"""
+
+import pytest
+
+from repro.broker.messages import SubscribeMsg
+from repro.broker.strategies import RoutingConfig
+from repro.errors import TopologyError
+from repro.network import ConstantLatency, Overlay
+from repro.network.faults import (
+    CrashEvent,
+    FaultPlan,
+    FaultSpecError,
+    LinkFaults,
+    Partition,
+)
+from repro.xpath import parse_xpath
+
+
+def decisions(plan, src="a", dst="b", count=400, now=0.0):
+    return [plan.decide(src, dst, i, now) for i in range(count)]
+
+
+class TestDeterminism:
+    def test_same_seed_identical_schedule(self):
+        kwargs = dict(
+            default=LinkFaults(drop=0.3, duplicate=0.2, reorder=0.4, delay=0.001)
+        )
+        one = FaultPlan(seed=42, **kwargs)
+        two = FaultPlan(seed=42, **kwargs)
+        assert decisions(one) == decisions(two)
+
+    def test_different_seed_differs(self):
+        kwargs = dict(default=LinkFaults(drop=0.3, duplicate=0.2))
+        one = FaultPlan(seed=1, **kwargs)
+        two = FaultPlan(seed=2, **kwargs)
+        assert decisions(one) != decisions(two)
+
+    def test_decisions_are_call_order_independent(self):
+        plan = FaultPlan(seed=9, default=LinkFaults(drop=0.5, reorder=0.5))
+        forward = [plan.decide("x", "y", i) for i in range(100)]
+        backward = [plan.decide("x", "y", i) for i in reversed(range(100))]
+        assert forward == list(reversed(backward))
+
+    def test_link_directions_draw_independent_streams(self):
+        plan = FaultPlan(seed=5, default=LinkFaults(drop=0.5))
+        assert decisions(plan, "a", "b") != decisions(plan, "b", "a")
+
+    def test_empirical_drop_rate_tracks_probability(self):
+        plan = FaultPlan(seed=0, default=LinkFaults(drop=0.25))
+        dropped = sum(d.dropped for d in decisions(plan, count=4000))
+        assert 0.20 < dropped / 4000 < 0.30
+
+    def test_faultless_plan_never_interferes(self):
+        plan = FaultPlan(seed=7)
+        for d in decisions(plan, count=50):
+            assert d.copies == 1 and d.extra_delay == 0.0 and not d.dropped
+
+
+class TestLinkResolution:
+    def test_with_link_override_is_order_insensitive(self):
+        plan = FaultPlan(seed=0).with_link("a", "b", LinkFaults(drop=1.0))
+        assert plan.link_faults("a", "b").drop == 1.0
+        assert plan.link_faults("b", "a").drop == 1.0
+        assert plan.link_faults("a", "c").drop == 0.0
+
+    def test_probability_validation(self):
+        with pytest.raises(FaultSpecError):
+            LinkFaults(drop=1.5)
+        with pytest.raises(FaultSpecError):
+            LinkFaults(delay=-0.1)
+
+
+class TestPartitions:
+    def test_partition_window_is_half_open(self):
+        plan = FaultPlan(partitions=(Partition("a", "b", 1.0, 2.0),))
+        assert not plan.is_partitioned("a", "b", 0.999)
+        assert plan.is_partitioned("a", "b", 1.0)
+        assert plan.is_partitioned("b", "a", 1.5)  # both directions
+        assert not plan.is_partitioned("a", "b", 2.0)  # healed
+        assert not plan.is_partitioned("a", "c", 1.5)  # other links fine
+
+    def test_partitioned_decision_drops(self):
+        plan = FaultPlan(partitions=(Partition("a", "b", 0.0, 1.0),))
+        decision = plan.decide("a", "b", 0, now=0.5)
+        assert decision.partitioned and decision.dropped and decision.copies == 0
+        healed = plan.decide("a", "b", 1, now=1.5)
+        assert healed.copies == 1 and not healed.partitioned
+
+    def test_partition_must_end_after_start(self):
+        with pytest.raises(FaultSpecError):
+            Partition("a", "b", 2.0, 2.0)
+
+
+class TestSpecParsing:
+    def test_full_spec_round_trip(self):
+        plan = FaultPlan.from_spec(
+            "drop=0.2, dup=0.1, reorder=0.3, delay=0.005, seed=7, rto=0.02,"
+            "partition=b1-b2@2.0:5.0, crash=b4@1.0:3.0, crash=b5@0.5:9.0:nostate"
+        )
+        assert plan.seed == 7 and plan.rto == 0.02
+        assert plan.default == LinkFaults(
+            drop=0.2, duplicate=0.1, reorder=0.3, delay=0.005
+        )
+        assert plan.partitions == (Partition("b1", "b2", 2.0, 5.0),)
+        assert plan.crashes == (
+            CrashEvent("b4", at=1.0, restart_at=3.0),
+            CrashEvent("b5", at=0.5, restart_at=9.0, with_state=False),
+        )
+
+    def test_empty_spec_is_the_faultless_plan(self):
+        assert FaultPlan.from_spec("") == FaultPlan()
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "drop",  # not key=value
+            "banana=1",  # unknown key
+            "drop=high",  # not a float
+            "drop=1.5",  # out of range
+            "rto=0",  # must be positive
+            "partition=b1@2:5",  # missing peer
+            "partition=b1-b2@5",  # missing window end
+            "crash=b4@3.0",  # missing restart
+            "crash=b4@3.0:1.0",  # restarts before crashing
+            "crash=@1:2",  # empty broker name
+        ],
+    )
+    def test_malformed_specs_raise(self, spec):
+        with pytest.raises(FaultSpecError):
+            FaultPlan.from_spec(spec)
+
+    def test_duplicate_crash_rejected(self):
+        with pytest.raises(FaultSpecError):
+            FaultPlan(
+                crashes=(
+                    CrashEvent("b1", at=1.0, restart_at=2.0),
+                    CrashEvent("b1", at=1.0, restart_at=3.0),
+                )
+            )
+
+    def test_describe_summarises_the_schedule(self):
+        plan = FaultPlan.from_spec("drop=0.1,crash=b2@1:2,partition=a-b@0:1")
+        described = plan.describe()
+        assert described["default"]["drop"] == 0.1
+        assert described["crashes"] == ["b2@1:2"]
+        assert described["partitions"] == ["a-b@0:1"]
+
+
+def tiny_overlay(plan):
+    return Overlay.binary_tree(
+        2,
+        config=RoutingConfig.by_name("no-Adv-no-Cov"),
+        latency_model=ConstantLatency(0.001),
+        processing_scale=0.0,
+        faults=plan,
+    )
+
+
+class TestReliableTransport:
+    def test_drops_are_healed_by_retransmission(self):
+        overlay = tiny_overlay(
+            FaultPlan(seed=3, default=LinkFaults(drop=0.4), rto=0.01)
+        )
+        sub = overlay.attach_subscriber("sub", "b2")
+        sub.subscribe("/a/b")
+        overlay.run()
+        # the subscription floods to every broker despite 40% loss
+        assert all(
+            b.routing_table_size() >= 1 for b in overlay.brokers.values()
+        )
+        assert overlay.transport.stats["dropped"] > 0
+        assert overlay.transport.stats["retransmits"] > 0
+        assert overlay.transport.in_flight() == 0
+
+    def test_duplicates_are_suppressed(self):
+        overlay = tiny_overlay(
+            FaultPlan(seed=1, default=LinkFaults(duplicate=1.0), rto=0.01)
+        )
+        sub = overlay.attach_subscriber("sub", "b2")
+        sub.subscribe("/a/b")
+        overlay.run()
+        stats = overlay.transport.stats
+        assert stats["duplicated"] > 0
+        assert stats["dup_suppressed"] > 0
+        # each broker processed the subscription exactly once
+        assert all(
+            b.routing_table_size() == 1 for b in overlay.brokers.values()
+        )
+
+    def test_delivery_is_in_order_under_reordering(self):
+        overlay = tiny_overlay(
+            FaultPlan(
+                seed=6,
+                default=LinkFaults(reorder=0.8, reorder_window=0.05),
+                rto=0.5,
+            )
+        )
+        arrivals = []
+        original = overlay.transport_deliver
+
+        def spy(broker_id, message, from_hop, hops):
+            if isinstance(message, SubscribeMsg):
+                arrivals.append((broker_id, str(message.expr)))
+            return original(broker_id, message, from_hop, hops)
+
+        overlay.transport_deliver = spy
+        sub = overlay.attach_subscriber("sub", "b2")
+        exprs = ["/a/b", "/a/c", "/a/d", "/a/e"]
+        for text in exprs:
+            sub.subscribe(text)
+        overlay.run()
+        per_broker = {}
+        for broker_id, expr in arrivals:
+            per_broker.setdefault(broker_id, []).append(expr)
+        assert overlay.transport.stats["reordered"] > 0
+        for sequence in per_broker.values():
+            assert sequence == exprs  # FIFO per link despite reordering
+
+
+class TestCrashSchedule:
+    def plan(self, **kwargs):
+        defaults = dict(
+            seed=4,
+            crashes=(CrashEvent("b2", at=0.0005, restart_at=0.05),),
+            rto=0.01,
+        )
+        defaults.update(kwargs)
+        return FaultPlan(**defaults)
+
+    def test_crash_and_recovery_fire_exactly_once(self):
+        overlay = tiny_overlay(self.plan())
+        sub = overlay.attach_subscriber("sub", "b2")
+        sub.subscribe("/a/b")
+        overlay.run()
+        assert overlay.transport.stats["crashes"] == 1
+        assert overlay.transport.stats["recoveries"] == 1
+        assert not overlay.is_down("b2")
+        assert all(
+            b.routing_table_size() >= 1 for b in overlay.brokers.values()
+        )
+
+    def test_double_crash_of_a_down_broker_is_rejected(self):
+        overlay = tiny_overlay(None)
+        overlay.install_faults(FaultPlan(seed=0))
+        overlay.crash_broker("b2")
+        with pytest.raises(TopologyError):
+            overlay.crash_broker("b2")
+        overlay.recover_broker("b2")
+        with pytest.raises(TopologyError):
+            overlay.recover_broker("b2")
+
+    def test_crash_requires_fault_plan(self):
+        overlay = Overlay.binary_tree(2)
+        with pytest.raises(TopologyError):
+            overlay.crash_broker("b2")
+
+    def test_install_twice_rejected(self):
+        overlay = tiny_overlay(FaultPlan(seed=0))
+        with pytest.raises(TopologyError):
+            overlay.install_faults(FaultPlan(seed=1))
+
+    def test_scheduled_crash_in_the_past_rejected(self):
+        overlay = Overlay.binary_tree(2, latency_model=ConstantLatency(0.001))
+        overlay.sim.schedule(1.0, lambda: None)
+        overlay.run()
+        with pytest.raises(TopologyError):
+            overlay.install_faults(
+                FaultPlan(crashes=(CrashEvent("b2", at=0.5, restart_at=2.0),))
+            )
+
+    def test_submissions_while_down_are_replayed_on_recovery(self):
+        overlay = tiny_overlay(None)
+        overlay.install_faults(FaultPlan(seed=0, rto=0.01))
+        sub = overlay.attach_subscriber("sub", "b2")
+        overlay.crash_broker("b2")
+        sub.subscribe("/a/b")
+        overlay.run()
+        assert overlay.transport.stats["held_while_down"] == 1
+        assert overlay.brokers["b2"].routing_table_size() == 0
+        overlay.recover_broker("b2")
+        overlay.run()
+        assert all(
+            b.routing_table_size() == 1 for b in overlay.brokers.values()
+        )
+
+
+class TestIdempotentHandlers:
+    """Redelivered control messages must not corrupt routing state."""
+
+    def test_redelivered_subscription_is_a_no_op(self):
+        overlay = Overlay.binary_tree(
+            2,
+            config=RoutingConfig.by_name("no-Adv-with-Cov"),
+            latency_model=ConstantLatency(0.001),
+        )
+        sub = overlay.attach_subscriber("sub", "b2")
+        sub.subscribe("/a/b")
+        overlay.run()
+        sizes = overlay.routing_table_sizes()
+        broker = overlay.brokers["b1"]
+        message = SubscribeMsg(expr=parse_xpath("/a/b"), subscriber_id="sub")
+        assert broker.handle(message, "b2") == []  # no re-forwarding
+        assert overlay.routing_table_sizes() == sizes
+        assert broker.stats["redelivered"] >= 1

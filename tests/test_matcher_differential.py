@@ -1,0 +1,174 @@
+"""Differential test: every matching engine agrees on every workload.
+
+The repo carries four matching engines with one contract —
+``add(expr, key)`` / ``remove(expr, key)`` / ``match(path, attributes)
+-> set of keys`` — implemented four very different ways (linear scan,
+covering-tree pruning, counting predicate index, YFilter-style NFA).
+Hypothesis drives DTD-derived XPE workloads with interleaved add and
+remove operations through all four side by side; any disagreement on
+any publication path is a bug in at least one engine.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dtd.paths import enumerate_paths
+from repro.dtd.samples import nitf_dtd, psd_dtd
+from repro.matching import (
+    LinearMatcher,
+    PredicateIndexMatcher,
+    TreeMatcher,
+    YFilterMatcher,
+)
+from repro.workloads.xpath_generator import XPathWorkloadParams, generate_queries
+from repro.xpath import parse_xpath
+
+ENGINES = (LinearMatcher, TreeMatcher, PredicateIndexMatcher, YFilterMatcher)
+
+DTD = psd_dtd()
+PATHS = enumerate_paths(DTD, max_depth=10)
+QUERY_POOL = generate_queries(
+    DTD,
+    80,
+    params=XPathWorkloadParams(
+        wildcard_prob=0.3,
+        descendant_prob=0.3,
+        relative_prob=0.3,
+        wildcard_min_position=0,
+    ),
+    seed=1234,
+)
+
+
+def run_differential(ops, paths, pool, attributes=None):
+    """Apply one interleaved add/remove schedule to every engine and
+    assert identical match sets on every probe path."""
+    engines = [cls() for cls in ENGINES]
+    active = set()
+    for add, index in ops:
+        expr, key = pool[index]
+        if add and index not in active:
+            active.add(index)
+            for engine in engines:
+                engine.add(expr, key)
+        elif not add and index in active:
+            active.discard(index)
+            for engine in engines:
+                engine.remove(expr, key)
+    reference = engines[0]
+    for path in paths:
+        expected = reference.match(path, attributes)
+        for engine in engines[1:]:
+            got = engine.match(path, attributes)
+            assert got == expected, (
+                "%s disagrees with %s on %r: %r != %r (active: %s)"
+                % (
+                    type(engine).__name__,
+                    type(reference).__name__,
+                    path,
+                    sorted(map(str, got)),
+                    sorted(map(str, expected)),
+                    sorted(str(pool[i][0]) for i in active),
+                )
+            )
+
+
+STRUCTURAL_POOL = [
+    (expr, "q%d" % i) for i, expr in enumerate(QUERY_POOL)
+]
+
+
+@settings(max_examples=200)
+@given(
+    ops=st.lists(
+        st.tuples(st.booleans(), st.integers(0, len(STRUCTURAL_POOL) - 1)),
+        min_size=1,
+        max_size=40,
+    ),
+    path_indices=st.lists(
+        st.integers(0, len(PATHS) - 1), min_size=1, max_size=8
+    ),
+)
+def test_engines_agree_on_dtd_workloads(ops, path_indices):
+    run_differential(
+        ops, [PATHS[i] for i in path_indices], STRUCTURAL_POOL
+    )
+
+
+# -- predicate workloads ---------------------------------------------------
+
+PREDICATE_POOL = [
+    (parse_xpath(text), text)
+    for text in (
+        "/claims/claim[@urgent]",
+        "/claims/claim[@lang='de']",
+        "/claims/claim[@lang!='de']",
+        "//claim[@urgent]/amount",
+        "//amount",
+        "/claims//amount[@currency='EUR']",
+        "claim/amount",
+        "/claims/*[@lang='en']",
+        "//claim[@lang='de'][@urgent]",
+        "/claims/claim/amount",
+    )
+]
+
+PREDICATE_PATHS = (
+    ("claims", "claim", "amount"),
+    ("claims", "claim"),
+    ("claims", "claim", "policy"),
+    ("archive", "claims", "claim", "amount"),
+)
+
+
+@settings(max_examples=200)
+@given(
+    ops=st.lists(
+        st.tuples(st.booleans(), st.integers(0, len(PREDICATE_POOL) - 1)),
+        min_size=1,
+        max_size=20,
+    ),
+    path_index=st.integers(0, len(PREDICATE_PATHS) - 1),
+    langs=st.lists(
+        st.sampled_from(["de", "en", None]), min_size=4, max_size=4
+    ),
+    urgent=st.booleans(),
+    currency=st.sampled_from(["EUR", "USD", None]),
+)
+def test_engines_agree_on_attribute_predicates(
+    ops, path_index, langs, urgent, currency
+):
+    path = PREDICATE_PATHS[path_index]
+    attributes = []
+    for element, lang in zip(path, langs):
+        attrs = {}
+        if lang is not None:
+            attrs["lang"] = lang
+        if element == "claim" and urgent:
+            attrs["urgent"] = "1"
+        if element == "amount" and currency is not None:
+            attrs["currency"] = currency
+        attributes.append(attrs)
+    run_differential(ops, [path], PREDICATE_POOL, attributes=attributes)
+
+
+def test_second_dtd_smoke():
+    """The differential harness holds on a second, recursive DTD."""
+    dtd = nitf_dtd()
+    paths = enumerate_paths(dtd, max_depth=8)[:40]
+    pool = [
+        (expr, "n%d" % i)
+        for i, expr in enumerate(
+            generate_queries(
+                dtd,
+                40,
+                params=XPathWorkloadParams(
+                    wildcard_prob=0.25, descendant_prob=0.35
+                ),
+                seed=77,
+            )
+        )
+    ]
+    ops = [(True, i) for i in range(len(pool))] + [
+        (False, i) for i in range(0, len(pool), 3)
+    ]
+    run_differential(ops, paths, pool)
