@@ -15,7 +15,16 @@ cost of a fixed pure-Python loop — so a faster or slower machine does
 not read as a code change.  A metric fails when its calibrated p50
 exceeds the baseline's by more than ``--threshold`` (default 2.0).
 
-Exit status: 0 on pass, 1 on regression or malformed input.
+Large *improvements* fail too: a calibrated p50 below ``1/threshold``
+of the baseline means the baseline no longer describes the code and
+must be refreshed deliberately (``--write-baseline``) so the gate keeps
+teeth — otherwise a later regression that merely gives the improvement
+back would pass unnoticed.  ``--allow-improvement`` downgrades these to
+warnings (useful on the PR that introduces the speedup, before its
+baseline refresh lands).
+
+Exit status: 0 on pass, 1 on regression, stale-fast baseline, or
+malformed input.
 """
 
 from __future__ import annotations
@@ -69,6 +78,12 @@ def main(argv=None) -> int:
     parser.add_argument("--baseline", default=BASELINE_PATH)
     parser.add_argument("--threshold", type=float, default=2.0)
     parser.add_argument(
+        "--allow-improvement",
+        action="store_true",
+        help="report metrics faster than 1/threshold of the baseline "
+        "as warnings instead of failures",
+    )
+    parser.add_argument(
         "--write-baseline",
         action="store_true",
         help="copy the current artifact over the baseline and exit",
@@ -98,6 +113,7 @@ def main(argv=None) -> int:
     )
 
     failures = []
+    improvements = []
     compared = 0
     for name in sorted(base_hists):
         if not gated(name):
@@ -119,7 +135,13 @@ def main(argv=None) -> int:
         base_p50 = base["p50"] / base_cal
         cur_p50 = current["p50"] / cur_cal
         ratio = cur_p50 / base_p50 if base_p50 else 1.0
-        verdict = "FAIL" if ratio > args.threshold else "ok"
+        improved = ratio < 1.0 / args.threshold
+        if ratio > args.threshold:
+            verdict = "FAIL"
+        elif improved:
+            verdict = "warn" if args.allow_improvement else "FAST"
+        else:
+            verdict = "ok"
         print(
             "  %-4s %-40s calibrated p50 ratio %.2fx (n=%d)"
             % (verdict, name, ratio, current["count"])
@@ -130,12 +152,28 @@ def main(argv=None) -> int:
                 "%s: calibrated p50 regressed %.2fx (> %.1fx threshold)"
                 % (name, ratio, args.threshold)
             )
+        elif improved:
+            improvements.append(
+                "%s: calibrated p50 improved to %.2fx of baseline "
+                "(< 1/%.1f)" % (name, ratio, args.threshold)
+            )
 
     print("compared %d gated hot-path metrics" % compared)
+    if improvements:
+        print("\nLARGE IMPROVEMENTS (baseline is stale):")
+        for improvement in improvements:
+            print("  - %s" % improvement)
+        print(
+            "  refresh the baseline deliberately: "
+            "python benchmarks/check_obs_regression.py %s --write-baseline"
+            % args.current
+        )
     if failures:
         print("\nREGRESSIONS:")
         for failure in failures:
             print("  - %s" % failure)
+        return 1
+    if improvements and not args.allow_improvement:
         return 1
     print("no hot-path regression beyond %.1fx" % args.threshold)
     return 0

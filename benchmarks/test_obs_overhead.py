@@ -5,7 +5,7 @@ Two purposes:
 * it exercises every instrumented hot path (broker dispatch, tree
   insert/match, advertisement intersection, overlay dispatch) so the
   ``BENCH_obs.json`` artifact always carries their timing histograms —
-  this is the workload CI's ``bench-smoke`` job gates on;
+  this is the workload CI's ``perf-smoke`` job gates on;
 * the enabled/disabled pair measures the instrumentation overhead
   itself, which must stay in the noise (the registry is one attribute
   check per site when off, one clock pair when on).

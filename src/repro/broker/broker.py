@@ -29,6 +29,7 @@ from collections import defaultdict
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro import obs
+from repro.cache import LRUCache
 from repro.broker.messages import (
     AdvertiseMsg,
     Message,
@@ -101,6 +102,16 @@ class Broker:
         self.client_subs: Dict[object, Set[XPathExpr]] = defaultdict(set)
         self.stats: Dict[str, int] = defaultdict(int)
 
+        #: Publication-match memo: ``(path, attribute fingerprint)`` →
+        #: ``(generation, frozen match keys)``.  The generation counter
+        #: is bumped by every SUB/UNSUB/ADV/UNADV/merge, so an entry
+        #: written before any routing-state change reads as stale and
+        #: is recomputed — cached destination sets are never wrong.
+        #: Deliberately *not* persisted: a restored broker starts cold.
+        self.match_cache = LRUCache(maxsize=4096)
+        self.match_cache_stale = 0
+        self._match_generation = 0
+
     # -- wiring --------------------------------------------------------------
 
     def connect(self, neighbor_id: object):
@@ -164,6 +175,7 @@ class Broker:
             self.stats["redelivered"] += 1
             obs.inc("broker.redelivered.advertise")
             return []
+        self._invalidate_match_cache()
         flood = True
         if self.advert_covers is not None:
             flood = self.advert_covers.add(msg.adv_id, msg.advert, from_hop)
@@ -212,6 +224,7 @@ class Broker:
             self.stats["redelivered"] += 1
             obs.inc("broker.redelivered.unadvertise")
             return []
+        self._invalidate_match_cache()
         out: Outbound = [(n, msg) for n in self.neighbors if n != from_hop]
         if self.advert_covers is not None:
             for promoted_id in self.advert_covers.remove(msg.adv_id):
@@ -246,6 +259,7 @@ class Broker:
             return []
         if from_hop in self.local_clients:
             self.client_subs[from_hop].add(expr)
+        self._invalidate_match_cache()
 
         out: Outbound = []
         if self.config.covering:
@@ -352,6 +366,7 @@ class Broker:
             self.stats["redelivered"] += 1
             obs.inc("broker.redelivered.unsubscribe")
             return []
+        self._invalidate_match_cache()
 
         out: Outbound = []
         if self.config.covering:
@@ -385,23 +400,106 @@ class Broker:
     # -- publications --------------------------------------------------------------
 
     def handle_publish(self, msg: PublishMsg, from_hop: object) -> Outbound:
-        path = msg.publication.path
-        attributes = msg.publication.attribute_maps()
-        if self.config.covering:
-            keys = self.tree.match_keys(path, attributes)
-        else:
-            keys = self.flat.match(path, attributes)
+        return [
+            (destination, msg)
+            for destination in self._publish_destinations(
+                msg.publication, from_hop
+            )
+        ]
 
+    def handle_publish_batch(
+        self, messages: List[PublishMsg], from_hop: object
+    ) -> Outbound:
+        """Route a batch of publications arriving from one hop.
+
+        Identical publications — same path and same attribute
+        fingerprint, the common case when a document's paths fan out or
+        several documents share hot paths — are grouped and matched
+        once; the destination list is reused across the whole group.
+        """
+        registry = obs.get_registry()
+        if not registry.enabled:
+            return self._handle_publish_batch(messages, from_hop)
+        with registry.timer("broker.handle.publish_batch"):
+            out = self._handle_publish_batch(messages, from_hop)
+        registry.histogram("broker.batch.size").record(len(messages))
+        return out
+
+    def _handle_publish_batch(
+        self, messages: List[PublishMsg], from_hop: object
+    ) -> Outbound:
+        self.stats["publish"] += len(messages)
         out: Outbound = []
+        groups: Dict[tuple, List[object]] = {}
+        for msg in messages:
+            publication = msg.publication
+            group_key = (publication.path, publication.attributes)
+            destinations = groups.get(group_key)
+            if destinations is None:
+                destinations = groups[group_key] = (
+                    self._publish_destinations(publication, from_hop)
+                )
+            for destination in destinations:
+                out.append((destination, msg))
+        registry = obs.get_registry()
+        if registry.enabled:
+            registry.counter("broker.batch.publications").inc(len(messages))
+            registry.counter("broker.batch.groups").inc(len(groups))
+        return out
+
+    def _publish_destinations(
+        self, publication, from_hop: object
+    ) -> List[object]:
+        """Destinations for one publication: matched keys minus the
+        arrival hop, with the exact edge-delivery recheck applied to
+        local clients."""
+        keys = self._publication_keys(publication)
+        destinations: List[object] = []
+        attribute_maps = None
+        maps_ready = False
         for key in sorted(keys, key=str):
             if key == from_hop:
                 continue
             if key in self.local_clients:
-                if self._client_wants(key, path, attributes):
-                    out.append((key, msg))
+                if not maps_ready:
+                    attribute_maps = publication.attribute_maps()
+                    maps_ready = True
+                if self._client_wants(key, publication.path, attribute_maps):
+                    destinations.append(key)
             elif key in self.neighbors:
-                out.append((key, msg))
-        return out
+                destinations.append(key)
+        return destinations
+
+    def _publication_keys(self, publication) -> frozenset:
+        """Matched subscriber keys for *publication*, memoised on
+        ``(path, attribute fingerprint)`` under the current routing-state
+        generation (see ``match_cache``)."""
+        cache_key = (publication.path, publication.attributes)
+        registry = obs.get_registry()
+        entry = self.match_cache.get(cache_key)
+        if entry is not None:
+            if entry[0] == self._match_generation:
+                if registry.enabled:
+                    registry.counter("broker.match_cache.hits").inc()
+                return entry[1]
+            self.match_cache_stale += 1
+            if registry.enabled:
+                registry.counter("broker.match_cache.stale").inc()
+        elif registry.enabled:
+            registry.counter("broker.match_cache.misses").inc()
+        path = publication.path
+        attributes = publication.attribute_maps()
+        if self.config.covering:
+            keys = frozenset(self.tree.match_keys(path, attributes))
+        else:
+            keys = frozenset(self.flat.match(path, attributes))
+        self.match_cache.put(cache_key, (self._match_generation, keys))
+        return keys
+
+    def _invalidate_match_cache(self):
+        """Bump the match-cache generation: every entry written before
+        this routing-state change is stale from now on."""
+        self._match_generation += 1
 
     def _client_wants(self, client_id: object, path, attributes=None) -> bool:
         """Exact-subscription recheck at the edge: merging-induced false
@@ -428,6 +526,7 @@ class Broker:
         if self._merger is None or self.tree is None:
             return []
         report = self._merger.merge_tree(self.tree)
+        self._invalidate_match_cache()
         out: Outbound = []
         for event in report.events:
             replaced_hops: Set[object] = set()
@@ -472,6 +571,11 @@ class Broker:
             "subscriptions": self.routing_table_size(),
             "forwarded": len(self.forwarded),
             "messages_handled": dict(self.stats),
+            "match_cache": dict(
+                self.match_cache.stats(),
+                stale=self.match_cache_stale,
+                generation=self._match_generation,
+            ),
         }
         if self.config.covering:
             summary["top_level_subscriptions"] = self.tree.top_level_size()

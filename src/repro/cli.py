@@ -145,6 +145,7 @@ def cmd_simulate(args) -> int:
         seed=args.seed,
         check_delivery_equivalence=strategies is None,
         faults=_parse_faults(args),
+        batching=args.batch,
     )
     print(result.format())
     if metrics_out:
@@ -175,6 +176,7 @@ def cmd_stats(args) -> int:
         seed=args.seed,
         check_delivery_equivalence=False,
         faults=_parse_faults(args),
+        batching=args.batch,
     )
     registry = obs.get_registry()
     if args.format == "line":
@@ -223,6 +225,12 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="XML/XPath data dissemination network (ICDCS 2008 reproduction)",
     )
+    parser.add_argument(
+        "--no-compiled",
+        action="store_true",
+        help="disable the compiled XPE fast path and run the reference "
+        "interpreter (equivalent to REPRO_COMPILED=0)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("adverts", help="derive a DTD's advertisement set")
@@ -267,6 +275,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="enable metrics and write the JSON snapshot here",
     )
+    p.add_argument(
+        "--batch",
+        action="store_true",
+        help="publish each document's paths as one batch "
+        "(Overlay.submit_batch)",
+    )
     _add_faults_option(p)
     p.set_defaults(fn=cmd_simulate)
 
@@ -282,6 +296,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=5)
     p.add_argument("--out", metavar="FILE", default=None)
     p.add_argument("--format", choices=("json", "line"), default="json")
+    p.add_argument(
+        "--batch",
+        action="store_true",
+        help="publish each document's paths as one batch "
+        "(Overlay.submit_batch)",
+    )
     _add_faults_option(p)
     p.set_defaults(fn=cmd_stats)
 
@@ -303,6 +323,10 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.no_compiled:
+        from repro.xpath.compiled import set_compiled_enabled
+
+        set_compiled_enabled(False)
     try:
         return args.fn(args)
     except ReproError as exc:

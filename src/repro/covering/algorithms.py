@@ -16,18 +16,30 @@ Algorithms, named as in the paper:
   (the string-matching formulation, KMP-optimised when wildcard-free),
 * :func:`des_cov`     — the general case with ``//`` operators.
 
-:func:`covers` dispatches by shape.
+:func:`covers` dispatches by shape.  Two accelerations sit in front of
+the algorithms (both sound because they are exact reformulations, and
+both bypassable with ``REPRO_COMPILED=0``):
+
+* the **compiled fast path** — for simple shapes, covering is string
+  matching, so it runs on the covered side's node-test string with the
+  coverer's compiled regex (see
+  :func:`repro.xpath.compiled.covers_simple`);
+* an **LRU memo** over ``(s1, s2)`` pairs — subscription-tree descents,
+  merge-candidate scans and forwarding decisions re-ask the same pairs
+  constantly (expressions are immutable, so the answer never changes).
 """
 
 from __future__ import annotations
 
 from typing import Optional, Sequence, Tuple
 
+from repro.cache import LRUCache
 from repro.covering.rules import (
     covers_block,
     covers_step_block,
     covers_test,
 )
+from repro.xpath import compiled as _compiled
 from repro.xpath.ast import WILDCARD, XPathExpr
 
 
@@ -41,6 +53,10 @@ def abs_sim_cov(s1: XPathExpr, s2: XPathExpr) -> bool:
     t1, t2 = s1.tests, s2.tests
     if len(t1) > len(t2):
         return False
+    if _compiled.ENABLED:
+        verdict = _compiled.covers_simple(s1, t2)
+        if verdict is not None:
+            return verdict
     return covers_block(t1, t2)
 
 
@@ -52,13 +68,18 @@ def rel_sim_cov(s1: XPathExpr, s2: XPathExpr) -> bool:
     ``s2``'s tests: the adversarial publication instantiates every
     wildcard and every surrounding position of ``s2`` with fresh element
     names, so ``s1`` can only rely on positions constrained by ``s2``.
-    The paper notes this is again a string-matching problem; KMP applies
-    when both sides are wildcard-free (where covering degenerates to
-    symbol equality), otherwise the naive O(k·n) scan runs.
+    The paper notes this is again a string-matching problem; the
+    compiled regex of ``s1`` searches ``s2``'s test string directly,
+    with KMP (both sides wildcard-free) and the naive O(k·n) scan as
+    the interpreted fallbacks.
     """
     t1, t2 = s1.tests, s2.tests
     if len(t1) > len(t2):
         return False
+    if _compiled.ENABLED and s1.is_relative:
+        verdict = _compiled.covers_simple(s1, t2)
+        if verdict is not None:
+            return verdict
     if WILDCARD not in t1 and WILDCARD not in t2:
         return _kmp_contains(t2, t1)
     return any(
@@ -174,7 +195,46 @@ def _place_segment(
     return jj, oo
 
 
+#: Memo for :func:`covers` verdicts.  Keys are ``(s1, s2)`` expression
+#: pairs (value-based hash/eq, both memoised on the instances); safe to
+#: cache unboundedly long because expressions are immutable and
+#: ``covers`` is pure — the LRU bound only caps memory.
+_COVERS_CACHE = LRUCache(maxsize=1 << 16, metric_prefix="covering.covers_cache")
+_CACHE_MISS = object()
+
+
+def covers_cache_stats():
+    """Lifetime hit/miss/eviction counts of the covers memo."""
+    return _COVERS_CACHE.stats()
+
+
 def covers(s1: XPathExpr, s2: XPathExpr) -> bool:
+    """``s1 ⊒ s2``: memoised dispatch to the shape-appropriate
+    algorithm (:func:`covers_uncached`).
+
+    Two O(1) prechecks run *before* the memo, so the overwhelmingly
+    common cheap rejections (and self-comparisons) never pay cache
+    traffic: identity/equality, and the universal length bound — a
+    coverer is never longer than the covered expression, because the
+    adversarial publication instantiates exactly ``len(s2)`` elements
+    (predicates never change path length), leaving a longer ``s1``
+    nothing to match.
+    """
+    if s1 is s2:
+        return True
+    if len(s1) > len(s2):
+        return False
+    if s1 == s2:
+        return True
+    key = (s1, s2)
+    value = _COVERS_CACHE.get(key, _CACHE_MISS)
+    if value is _CACHE_MISS:
+        value = covers_uncached(s1, s2)
+        _COVERS_CACHE.put(key, value)
+    return value
+
+
+def covers_uncached(s1: XPathExpr, s2: XPathExpr) -> bool:
     """``s1 ⊒ s2``: dispatch to the shape-appropriate algorithm.
 
     The two subscription-tree search properties of paper §4.1 (an

@@ -15,12 +15,19 @@ Greedy earliest placement is exact for predicate-free expressions (path
 elements are concrete, so segment feasibility is monotone in the start
 position) and remains exact with predicates — they only further
 constrain individual positions.
+
+:func:`matches_path` dispatches through the compiled fast path
+(:mod:`repro.xpath.compiled`) by default; the interpreter below is kept
+verbatim as :func:`matches_path_reference`, the differential oracle the
+compiled forms are tested against (and the runtime fallback when
+``REPRO_COMPILED=0``).
 """
 
 from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from repro.xpath import compiled as _compiled
 from repro.xpath.ast import WILDCARD, XPathExpr
 
 _EMPTY = {}
@@ -59,6 +66,10 @@ def matches_path(
 ) -> bool:
     """True when *expr* matches the publication *path*.
 
+    Dispatches through the compiled form of *expr* unless the compiled
+    fast path is disabled (``REPRO_COMPILED=0`` / ``--no-compiled``),
+    in which case the reference interpreter runs.
+
     Args:
         expr: the XPE.
         path: root-to-leaf element names.
@@ -66,6 +77,52 @@ def matches_path(
             with *path*; when omitted, every element has no attributes
             (so predicates other than nothing fail).
     """
+    if _compiled.ENABLED:
+        return _compiled.compile_xpe(expr).matches(path, attributes)
+    return matches_path_reference(expr, path, attributes)
+
+
+def path_matcher(path: Sequence[str], attributes: Optional[Sequence] = None):
+    """A ``expr -> bool`` callable specialised to one publication path.
+
+    Bulk matchers (linear scan, subscription tree, edge-delivery
+    recheck) probe many expressions against the same path; this renders
+    the compiled path string **once** and hands every probe the
+    precomputed text, instead of re-deriving it per expression.
+    """
+    if _compiled.ENABLED:
+        text = _compiled.path_string(
+            path if type(path) is tuple else tuple(path)
+        )
+        compile_xpe = _compiled.compile_xpe
+
+        def check(expr: XPathExpr) -> bool:
+            compiled = getattr(expr, "_compiled_cache", None)
+            if compiled is None:
+                compiled = compile_xpe(expr)
+            # Inline the regex common case: a pattern needing more
+            # elements than the path holds simply fails to match, so
+            # the min-length precheck is redundant here.
+            regex = compiled.regex
+            if regex is not None and text is not None:
+                return regex(text) is not None
+            return compiled.matches_text(text, path, attributes)
+
+        return check
+
+    def check_reference(expr: XPathExpr) -> bool:
+        return matches_path_reference(expr, path, attributes)
+
+    return check_reference
+
+
+def matches_path_reference(
+    expr: XPathExpr,
+    path: Sequence[str],
+    attributes: Optional[Sequence] = None,
+) -> bool:
+    """The interpreted matcher (differential oracle for the compiled
+    fast path; semantics documented on :func:`matches_path`)."""
     if len(expr) > len(path):
         return False
     if expr.has_predicates:

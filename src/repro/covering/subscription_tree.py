@@ -27,8 +27,9 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro import obs
+from repro.cache import LRUCache
 from repro.covering.algorithms import covers
-from repro.covering.pathmatch import matches_path
+from repro.covering.pathmatch import path_matcher
 from repro.xpath.ast import XPathExpr
 
 
@@ -116,6 +117,17 @@ class SubscriptionTree:
         #: instrumented entry points publish deltas of this as the
         #: ``covering.tree.cover_checks`` metric.
         self.cover_checks = 0
+        #: Epoch counter versioning :attr:`keys_cache` entries; every
+        #: mutation (insert, remove, merge sweep) bumps it, so stale
+        #: cached match results are recomputed rather than served.
+        self.match_epoch = 0
+        #: Path -> (epoch, frozenset of keys) memo for attribute-free
+        #: publications (the hashable case; attribute-bearing matches
+        #: are cached one level up, in the broker, keyed on the
+        #: publication's attribute fingerprint).
+        self.keys_cache = LRUCache(
+            maxsize=2048, metric_prefix="covering.tree.keys_cache"
+        )
 
     # -- size metrics -----------------------------------------------------
 
@@ -156,7 +168,13 @@ class SubscriptionTree:
         )
         return outcome
 
+    def invalidate_matches(self):
+        """Version out every cached match result (mutators call this;
+        the merging engine calls it when a sweep rewrites the tree)."""
+        self.match_epoch += 1
+
     def _insert(self, expr: XPathExpr, key: object = None) -> InsertOutcome:
+        self.match_epoch += 1
         existing = self._by_expr.get(expr)
         if existing is not None:
             existing.keys.add(key)
@@ -232,6 +250,7 @@ class SubscriptionTree:
         node = self._by_expr.get(expr)
         if node is None:
             return RemoveOutcome(removed=False, was_top_level=False, promoted=())
+        self.match_epoch += 1
         node.keys.discard(key)
         if node.keys:
             return RemoveOutcome(removed=False, was_top_level=False, promoted=())
@@ -312,13 +331,16 @@ class SubscriptionTree:
         return matched
 
     def _match(self, path, attributes=None, count=False):
+        # One path probed against many XPEs: render the compiled path
+        # string once and reuse it down the whole descent.
+        wants = path_matcher(path, attributes)
         matched: List[SubNode] = []
         visited = 0
         stack = list(self._root.children)
         while stack:
             node = stack.pop()
             visited += 1
-            if matches_path(node.expr, path, attributes):
+            if wants(node.expr):
                 matched.append(node)
                 stack.extend(node.children)
         if count:
@@ -326,8 +348,24 @@ class SubscriptionTree:
         return matched
 
     def match_keys(self, path: Sequence[str], attributes=None) -> Set[object]:
-        """Union of the subscriber keys of all matching nodes."""
-        keys: Set[object] = set()
+        """Union of the subscriber keys of all matching nodes.
+
+        Attribute-free probes (the hashable, overwhelmingly common
+        case) are memoised against :attr:`match_epoch` — repeated
+        publication paths skip the descent entirely until the next
+        tree mutation."""
+        if attributes is None:
+            cache_key = path if type(path) is tuple else tuple(path)
+            entry = self.keys_cache.get(cache_key)
+            if entry is not None and entry[0] == self.match_epoch:
+                return entry[1]
+            keys: Set[object] = set()
+            for node in self.match(path, None):
+                keys |= node.keys
+            result = frozenset(keys)
+            self.keys_cache.put(cache_key, (self.match_epoch, result))
+            return result
+        keys = set()
         for node in self.match(path, attributes):
             keys |= node.keys
         return keys
@@ -335,10 +373,8 @@ class SubscriptionTree:
     def matches_any(self, path: Sequence[str], attributes=None) -> bool:
         """True when some stored XPE matches *path* (top-level check
         only — by covering, a match anywhere implies one at top level)."""
-        return any(
-            matches_path(child.expr, path, attributes)
-            for child in self._root.children
-        )
+        wants = path_matcher(path, attributes)
+        return any(wants(child.expr) for child in self._root.children)
 
     # -- introspection -----------------------------------------------------
 

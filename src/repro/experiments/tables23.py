@@ -43,6 +43,7 @@ def run_traffic_experiment(
     merge_interval: int = 50,
     check_delivery_equivalence: bool = True,
     faults=None,
+    batching: bool = False,
 ) -> ExperimentResult:
     """Run the Tables 2/3 experiment on a ``levels``-deep broker tree.
 
@@ -52,6 +53,9 @@ def run_traffic_experiment(
     links with the reliability layer engaged — the PlanetLab-style
     condition.  Delivery equivalence continues to hold: reliable
     links plus idempotent handlers mask the faults.
+
+    ``batching`` publishes each document's paths as one batch (see
+    ``Overlay.submit_batch``); delivered document sets are unaffected.
     """
     if strategies is None:
         strategies = RoutingConfig.ALL_NAMES
@@ -83,6 +87,7 @@ def run_traffic_experiment(
             universe=universe,
             processing_scale=1.0,
             faults=faults,
+            batching=batching,
         )
         rng = random.Random(seed)
         leaves = overlay.leaf_brokers()

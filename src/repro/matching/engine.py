@@ -12,24 +12,36 @@ from __future__ import annotations
 from typing import Dict, List, Sequence, Set
 
 from repro import obs
-from repro.covering.pathmatch import matches_path
+from repro.cache import LRUCache
+from repro.covering.pathmatch import path_matcher
 from repro.covering.subscription_tree import SubscriptionTree
 from repro.xpath.ast import XPathExpr
 
 
 class LinearMatcher:
-    """The non-covering baseline: a flat list scanned per publication."""
+    """The non-covering baseline: a flat list scanned per publication.
+
+    Attribute-free match results are memoised against an epoch counter
+    bumped on every ``add``/``remove`` — the same scheme as
+    ``SubscriptionTree.match_keys`` (and the broker's publication-match
+    cache above both)."""
 
     def __init__(self):
         self._subs: Dict[XPathExpr, Set[object]] = {}
+        self.match_epoch = 0
+        self.keys_cache = LRUCache(
+            maxsize=2048, metric_prefix="matching.linear.keys_cache"
+        )
 
     def add(self, expr: XPathExpr, key: object = None):
+        self.match_epoch += 1
         self._subs.setdefault(expr, set()).add(key)
 
     def remove(self, expr: XPathExpr, key: object = None):
         keys = self._subs.get(expr)
         if keys is None:
             return
+        self.match_epoch += 1
         keys.discard(key)
         if not keys:
             del self._subs[expr]
@@ -44,20 +56,42 @@ class LinearMatcher:
         return matched
 
     def _match(self, path: Sequence[str], attributes=None) -> Set[object]:
+        if attributes is None:
+            cache_key = path if type(path) is tuple else tuple(path)
+            entry = self.keys_cache.get(cache_key)
+            if entry is not None and entry[0] == self.match_epoch:
+                return entry[1]
+            result = frozenset(self._scan(path, None))
+            self.keys_cache.put(cache_key, (self.match_epoch, result))
+            return result
+        return self._scan(path, attributes)
+
+    def _scan(self, path: Sequence[str], attributes) -> Set[object]:
+        wants = path_matcher(path, attributes)
         matched: Set[object] = set()
         for expr, keys in self._subs.items():
-            if matches_path(expr, path, attributes):
+            if wants(expr):
                 matched |= keys
         return matched
 
     def matching_exprs(
         self, path: Sequence[str], attributes=None
     ) -> List[XPathExpr]:
-        return [
-            expr
-            for expr in self._subs
-            if matches_path(expr, path, attributes)
-        ]
+        # Same instrumented path as match(): engine-ablation benchmarks
+        # must see this scan under matching.linear.* too.
+        registry = obs.get_registry()
+        if not registry.enabled:
+            return self._matching_exprs(path, attributes)
+        with registry.timer("matching.linear.match"):
+            matched = self._matching_exprs(path, attributes)
+        registry.counter("matching.linear.exprs_scanned").inc(len(self._subs))
+        return matched
+
+    def _matching_exprs(
+        self, path: Sequence[str], attributes=None
+    ) -> List[XPathExpr]:
+        wants = path_matcher(path, attributes)
+        return [expr for expr in self._subs if wants(expr)]
 
     def keys_of(self, expr: XPathExpr) -> Set[object]:
         return set(self._subs.get(expr, ()))
@@ -97,7 +131,13 @@ class TreeMatcher:
     def matching_exprs(
         self, path: Sequence[str], attributes=None
     ) -> List[XPathExpr]:
-        return [node.expr for node in self._tree.match(path, attributes)]
+        # Route through the same engine-level timer as match() so
+        # ablation runs comparing the two entry points see both.
+        registry = obs.get_registry()
+        if not registry.enabled:
+            return [node.expr for node in self._tree.match(path, attributes)]
+        with registry.timer("matching.tree.match"):
+            return [node.expr for node in self._tree.match(path, attributes)]
 
     def exprs(self):
         return self._tree.exprs()

@@ -40,6 +40,12 @@ class Overlay:
             the real Python matching cost).
         queueing: serialise each broker's processing (arrivals wait for
             the broker to become idle) instead of overlapping it.
+        batching: publisher clients submit each document's publications
+            as one batch (see :meth:`submit_batch`) instead of one
+            event per path — the broker matches identical paths once
+            and batches propagate hop by hop.  Delivery sets are
+            identical either way; only event granularity and hence
+            modelled timing differ.
         metrics: the :class:`~repro.obs.MetricsRegistry` this overlay
             reports into; defaults to the process-global registry the
             hot-path instrumentation already uses, so
@@ -60,6 +66,7 @@ class Overlay:
         queueing: bool = False,
         metrics: Optional[MetricsRegistry] = None,
         faults: Optional[FaultPlan] = None,
+        batching: bool = False,
     ):
         self.config = config if config is not None else RoutingConfig.full()
         self.latency_model = (
@@ -81,6 +88,7 @@ class Overlay:
         #: for the previous one to finish, so per-hop delays grow under
         #: load instead of overlapping for free.
         self.queueing = queueing
+        self.batching = batching
         self._busy_until: Dict[str, float] = {}
         #: Reliable transport + fault schedule (see install_faults);
         #: None keeps the original direct-delivery fast path.
@@ -324,6 +332,34 @@ class Overlay:
             lambda: self._broker_receive(broker_id, message, client_id, 1),
         )
 
+    def submit_batch(self, client_id: str, messages: List[Message]):
+        """A client hands a batch of publications to its edge broker as
+        one event; the broker groups identical paths and matches each
+        group once (:meth:`Broker.handle_publish_batch`).  The batch
+        arrives when its largest frame would."""
+        messages = list(messages)
+        if not messages:
+            return
+        for message in messages:
+            if not isinstance(message, PublishMsg):
+                raise RoutingError(
+                    "submit_batch carries publications only, got %r"
+                    % (message.kind,)
+                )
+        broker_id = self._client_home.get(client_id)
+        if broker_id is None:
+            raise RoutingError("unknown client %r" % client_id)
+        latency = max(
+            self.latency_model.latency(client_id, broker_id, _size_of(m))
+            for m in messages
+        )
+        self.sim.schedule(
+            latency,
+            lambda: self._broker_receive_batch(
+                broker_id, messages, client_id, 1
+            ),
+        )
+
     def attach_tracer(self, tracer):
         """Register a :class:`repro.network.trace.Tracer`; every broker
         message hop is offered to it."""
@@ -368,6 +404,69 @@ class Overlay:
         if metrics.enabled:
             metrics.histogram("network.dispatch").record(elapsed)
             metrics.counter("network.dispatch.outbound").inc(len(outbound))
+        processing = self._charge_processing(broker_id, elapsed)
+        for destination, out_msg in outbound:
+            self._forward(broker_id, destination, out_msg, processing, hops)
+
+    def _broker_receive_batch(
+        self, broker_id: str, messages: List[Message], from_hop: str, hops: int
+    ):
+        """Batch counterpart of :meth:`_broker_receive` (publications
+        only).  Outbound messages are regrouped per destination:
+        broker-bound groups travel onward as one batch (when no
+        reliable transport is interposed — the transport's
+        per-message ordering/dedup would otherwise be bypassed), while
+        client deliveries and transport sends degrade to per-message
+        forwarding."""
+        if self._down and broker_id in self._down:
+            held = self._held_while_down.setdefault(broker_id, [])
+            for message in messages:
+                held.append((message, from_hop, hops))
+                self._transport._count("held_while_down", "network.faults.held")
+            return
+        for message in messages:
+            self.stats.record_broker_message(broker_id, message.kind)
+            for tracer in self._tracers:
+                tracer.record(self.sim.now, broker_id, message, from_hop)
+        broker = self.brokers[broker_id]
+        started = time.perf_counter()
+        outbound = broker.handle_publish_batch(messages, from_hop)
+        elapsed = time.perf_counter() - started
+        metrics = self.metrics
+        if metrics.enabled:
+            metrics.histogram("network.dispatch").record(elapsed)
+            metrics.counter("network.dispatch.outbound").inc(len(outbound))
+        processing = self._charge_processing(broker_id, elapsed)
+        grouped: Dict[object, List[Message]] = {}
+        for destination, out_msg in outbound:
+            grouped.setdefault(destination, []).append(out_msg)
+        for destination, dest_messages in grouped.items():
+            if (
+                destination in self.brokers
+                and self._transport is None
+                and len(dest_messages) > 1
+            ):
+                latency = processing + max(
+                    self.latency_model.latency(
+                        broker_id, destination, _size_of(m)
+                    )
+                    for m in dest_messages
+                )
+                self.sim.schedule(
+                    latency,
+                    lambda d=destination, ms=dest_messages:
+                        self._broker_receive_batch(d, ms, broker_id, hops + 1),
+                )
+            else:
+                for out_msg in dest_messages:
+                    self._forward(
+                        broker_id, destination, out_msg, processing, hops
+                    )
+
+    def _charge_processing(self, broker_id: str, elapsed: float) -> float:
+        """Turn measured handler wall time into the virtual-clock delay
+        charged to this broker's outbound messages (queueing makes the
+        charge include time spent waiting for the broker to go idle)."""
         processing = elapsed * self.processing_scale
         if self.queueing:
             queued_from = max(
@@ -376,12 +475,11 @@ class Overlay:
             finish = queued_from + processing
             self._busy_until[broker_id] = finish
             processing = finish - self.sim.now
-            if metrics.enabled:
-                metrics.histogram("network.queue_wait").record(
+            if self.metrics.enabled:
+                self.metrics.histogram("network.queue_wait").record(
                     queued_from - self.sim.now
                 )
-        for destination, out_msg in outbound:
-            self._forward(broker_id, destination, out_msg, processing, hops)
+        return processing
 
     def _forward(
         self,
@@ -458,6 +556,18 @@ class Overlay:
             self.metrics.gauge("broker.%s.routing_table" % broker_id).set(
                 broker.routing_table_size()
             )
+        # hits/misses/stale are hot-path counters (Broker records them
+        # per publication); size and evictions are only knowable from
+        # the cache objects, so they are folded in here as gauges.
+        self.metrics.gauge("broker.match_cache.size").set(
+            sum(len(b.match_cache) for b in self.brokers.values())
+        )
+        self.metrics.gauge("broker.match_cache.evictions").set(
+            sum(b.match_cache.evictions for b in self.brokers.values())
+        )
+        # The matcher-level keys memos publish themselves: they join the
+        # covering.tree.keys_cache / matching.linear.keys_cache groups
+        # (repro.cache), which a snapshot-time collector sums.
         document = self.metrics.snapshot()
         document["network"] = self.stats.summary()
         if self._transport is not None:

@@ -40,6 +40,7 @@ from repro.obs.registry import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    register_collector,
 )
 
 __all__ = [
@@ -53,6 +54,7 @@ __all__ = [
     "get_registry",
     "inc",
     "observe",
+    "register_collector",
     "set_registry",
     "snapshot_document",
     "timed",

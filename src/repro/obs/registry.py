@@ -30,7 +30,7 @@ from __future__ import annotations
 import json
 import math
 from time import perf_counter
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 #: Lower edge of bucket 0: 1 nanosecond (timers record seconds).
 MIN_VALUE = 1e-9
@@ -198,6 +198,25 @@ class _NoopTimer:
 NOOP_TIMER = _NoopTimer()
 
 
+#: Snapshot-time collectors.  Hot-path caches keep plain integer
+#: counters (no per-operation registry traffic at all) and register a
+#: collector here that publishes them as gauges whenever *any* registry
+#: is snapshot — so ``repro stats`` and the benchmark artifacts see
+#: lifetime cache figures without the caches ever importing obs state
+#: into their fast paths.
+_COLLECTORS: List[Callable[["MetricsRegistry"], None]] = []
+
+
+def register_collector(
+    fn: Callable[["MetricsRegistry"], None],
+) -> Callable[["MetricsRegistry"], None]:
+    """Register *fn* to run at every registry snapshot (idempotent);
+    usable as a decorator."""
+    if fn not in _COLLECTORS:
+        _COLLECTORS.append(fn)
+    return fn
+
+
 class _Timer:
     """Context manager recording elapsed wall seconds into a histogram."""
 
@@ -296,7 +315,12 @@ class MetricsRegistry:
     # -- export -----------------------------------------------------------
 
     def snapshot(self) -> Dict[str, object]:
-        """One JSON-serialisable document with every metric."""
+        """One JSON-serialisable document with every metric.
+
+        Registered collectors run first, publishing cache counters (and
+        similar lazily-exported state) into this registry as gauges."""
+        for collect in _COLLECTORS:
+            collect(self)
         return {
             "counters": {
                 name: counter.snapshot()
@@ -316,7 +340,10 @@ class MetricsRegistry:
         return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
 
     def iter_metrics(self) -> Iterator[Tuple[str, str, object]]:
-        """Yield ``(kind, name, instrument)`` triples."""
+        """Yield ``(kind, name, instrument)`` triples (collectors run
+        first, as in :meth:`snapshot`)."""
+        for collect in _COLLECTORS:
+            collect(self)
         for name, counter in sorted(self._counters.items()):
             yield "counter", name, counter
         for name, gauge in sorted(self._gauges.items()):

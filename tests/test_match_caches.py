@@ -1,0 +1,322 @@
+"""Cache correctness for the routing fast path.
+
+Three properties guard the result caches introduced with the compiled
+matching core:
+
+* the ``covers()`` memo always agrees with the uncached dispatch
+  (expressions are immutable, so any disagreement is a caching bug);
+* a broker's publication-match cache is generation-invalidated: after
+  SUB/UNSUB/ADV churn and a merge sweep, cached match results equal a
+  cold-cache recomputation;
+* restored brokers (restart and crash/recovery) start with empty
+  caches — cached destination sets never survive a process boundary;
+* batched publication dispatch delivers exactly the same document sets
+  as per-message dispatch.
+"""
+
+from repro.broker import (
+    AdvertiseMsg,
+    Broker,
+    PublishMsg,
+    RoutingConfig,
+    SubscribeMsg,
+    UnsubscribeMsg,
+)
+from repro.adverts import Advertisement
+from repro.covering.algorithms import covers, covers_uncached
+from repro.dtd.samples import psd_dtd
+from repro.merging.engine import PathUniverse
+from repro.network import ConstantLatency, Overlay
+from repro.network.faults import FaultPlan
+from repro.workloads.document_generator import generate_documents
+from repro.workloads.xpath_generator import XPathWorkloadParams, generate_queries
+from repro.xmldoc import Publication
+from repro.xpath import parse_xpath
+
+
+def x(text):
+    return parse_xpath(text)
+
+
+def sub(text, subscriber="s"):
+    return SubscribeMsg(expr=x(text), subscriber_id=subscriber)
+
+
+def unsub(text, subscriber="s"):
+    return UnsubscribeMsg(expr=x(text), subscriber_id=subscriber)
+
+
+def pub(path, doc_id="d1", path_id=0):
+    return PublishMsg(
+        publication=Publication(doc_id=doc_id, path_id=path_id, path=path),
+        publisher_id="pub",
+    )
+
+
+# -- covers() memo ---------------------------------------------------------
+
+
+def test_covers_memo_agrees_with_uncached():
+    pool = generate_queries(
+        psd_dtd(),
+        60,
+        params=XPathWorkloadParams(
+            wildcard_prob=0.3, descendant_prob=0.3, relative_prob=0.3
+        ),
+        seed=99,
+    )
+    for s1 in pool:
+        for s2 in pool:
+            assert covers(s1, s2) == covers_uncached(s1, s2), (s1, s2)
+    # ... and asking again (pure cache hits) still agrees.
+    for s1 in pool[:20]:
+        for s2 in pool[:20]:
+            assert covers(s1, s2) == covers_uncached(s1, s2)
+
+
+# -- broker match cache ----------------------------------------------------
+
+
+def make_broker(config=None):
+    broker = Broker("b1", config=config or RoutingConfig.with_adv_with_cov())
+    for n in ("n1", "n2"):
+        broker.connect(n)
+    broker.attach_client("c1")
+    return broker
+
+
+def cold_keys(broker, publication):
+    """What the matcher computes with no cache in the loop."""
+    attributes = publication.attribute_maps()
+    if broker.config.covering:
+        return frozenset(broker.tree.match_keys(publication.path, attributes))
+    return frozenset(broker.flat.match(publication.path, attributes))
+
+
+PROBE_PATHS = (
+    ("ProteinDatabase", "ProteinEntry"),
+    ("ProteinDatabase", "ProteinEntry", "protein"),
+    ("ProteinDatabase", "ProteinEntry", "reference"),
+    ("somewhere", "else"),
+)
+
+
+def churn(broker):
+    """A SUB/UNSUB/ADV sequence touching every invalidation site."""
+    broker.handle(sub("/ProteinDatabase//protein"), "n1")
+    broker.handle(sub("/ProteinDatabase/ProteinEntry"), "n2")
+    broker.handle(sub("//reference"), "c1")
+    broker.handle(
+        AdvertiseMsg(
+            adv_id="advA",
+            advert=Advertisement.from_tests(("ProteinDatabase",)),
+            publisher_id="p",
+        ),
+        "n1",
+    )
+    broker.handle(unsub("/ProteinDatabase//protein"), "n1")
+    broker.handle(sub("/ProteinDatabase/*"), "n1")
+
+
+def test_cached_matches_equal_cold_recomputation_after_churn():
+    broker = make_broker()
+    churn(broker)
+    probes = [pub(path, path_id=i) for i, path in enumerate(PROBE_PATHS)]
+    # Warm the cache, then churn more — every warm entry is now stale.
+    for msg in probes:
+        broker.handle(msg, "n2")
+    generation_before = broker._match_generation
+    broker.handle(sub("//organism"), "n2")
+    broker.handle(unsub("/ProteinDatabase/*"), "n1")
+    assert broker._match_generation > generation_before
+    stale_before = broker.match_cache_stale
+    for msg in probes:
+        cached = broker._publication_keys(msg.publication)
+        assert cached == cold_keys(broker, msg.publication)
+    assert broker.match_cache_stale > stale_before
+
+
+def test_repeat_publication_hits_cache_with_identical_output():
+    broker = make_broker()
+    churn(broker)
+    msg = pub(PROBE_PATHS[1])
+    first = broker.handle(msg, "n2")
+    hits_before = broker.match_cache.hits
+    second = broker.handle(msg, "n2")
+    assert second == first
+    assert broker.match_cache.hits > hits_before
+
+
+def test_merge_sweep_invalidates_cache():
+    universe = PathUniverse.from_dtd(psd_dtd(), max_depth=6)
+    config = RoutingConfig.by_name("with-Adv-with-CovIPM")
+    broker = Broker("b1", config=config, universe=universe)
+    broker.connect("n1")
+    broker.connect("n2")
+    for i, text in enumerate(
+        ("/ProteinDatabase/ProteinEntry", "/ProteinDatabase/*", "//protein")
+    ):
+        broker.handle(sub(text, subscriber="s%d" % i), "n1")
+    msg = pub(PROBE_PATHS[1])
+    broker.handle(msg, "n2")  # warm
+    generation = broker._match_generation
+    broker.run_merge_sweep()
+    assert broker._match_generation > generation
+    assert broker._publication_keys(msg.publication) == cold_keys(
+        broker, msg.publication
+    )
+
+
+def test_nocov_broker_cache_agrees_with_flat_matcher():
+    broker = make_broker(config=RoutingConfig.by_name("no-Adv-no-Cov"))
+    broker.handle(sub("//protein"), "n1")
+    broker.handle(sub("/ProteinDatabase//reference"), "n2")
+    for i, path in enumerate(PROBE_PATHS):
+        message = pub(path, path_id=i)
+        broker.handle(message, "n1")  # warm
+        assert broker._publication_keys(message.publication) == cold_keys(
+            broker, message.publication
+        )
+
+
+# -- matcher-level keys caches ---------------------------------------------
+
+
+def test_tree_keys_cache_invalidates_on_mutation_and_merge():
+    from repro.covering.subscription_tree import SubscriptionTree
+    from repro.merging.engine import MergingEngine, PathUniverse
+
+    tree = SubscriptionTree()
+    for i, text in enumerate(
+        ("/ProteinDatabase/ProteinEntry", "/ProteinDatabase/*", "//protein")
+    ):
+        tree.insert(x(text), "k%d" % i)
+    path = PROBE_PATHS[1]
+    warm = tree.match_keys(path)
+    assert tree.match_keys(path) == warm  # hit
+    assert tree.keys_cache.hits > 0
+    # Mutations version the memo out; results track the live tree.
+    tree.insert(x("//reference"), "k3")
+    assert tree.match_keys(path) == warm  # same result, recomputed
+    tree.remove(x("/ProteinDatabase/*"), "k1")
+    assert tree.match_keys(path) == frozenset(
+        k for node in tree.match(path) for k in node.keys
+    )
+    # A merge sweep rewrites the tree through the engine's internals —
+    # invalidate_matches() keeps the memo honest there too.
+    universe = PathUniverse.from_dtd(psd_dtd(), max_depth=6)
+    epoch = tree.match_epoch
+    MergingEngine(universe=universe, max_degree=0.0).merge_tree(tree)
+    assert tree.match_epoch >= epoch
+    assert tree.match_keys(path) == frozenset(
+        k for node in tree.match(path) for k in node.keys
+    )
+
+
+def test_linear_keys_cache_invalidates_on_add_remove():
+    from repro.matching.engine import LinearMatcher
+
+    matcher = LinearMatcher()
+    matcher.add(x("//protein"), "a")
+    path = PROBE_PATHS[1] + ("protein",)
+    assert matcher.match(path) == {"a"}
+    assert matcher.match(path) == {"a"}
+    assert matcher.keys_cache.hits > 0
+    matcher.add(x("/ProteinDatabase//protein"), "b")
+    assert matcher.match(path) == {"a", "b"}
+    matcher.remove(x("//protein"), "a")
+    assert matcher.match(path) == {"b"}
+
+
+# -- restart / crash-recovery start cold -----------------------------------
+
+
+def overlay_with_traffic(**kwargs):
+    overlay = Overlay.binary_tree(
+        2,
+        config=RoutingConfig.with_adv_with_cov(),
+        latency_model=ConstantLatency(0.001),
+        **kwargs,
+    )
+    publisher = overlay.attach_publisher("pub", "b2")
+    subscriber = overlay.attach_subscriber("sub", "b3")
+    publisher.advertise_dtd(psd_dtd())
+    overlay.run()
+    subscriber.subscribe("/ProteinDatabase")
+    overlay.run()
+    return overlay, publisher, subscriber
+
+
+def publish_round(overlay, publisher, seed):
+    docs = generate_documents(psd_dtd(), 1, seed=seed, target_bytes=600)
+    publisher.publish_document(docs[0])
+    overlay.run()
+    return docs[0].doc_id
+
+
+def test_restarted_broker_starts_with_empty_cache():
+    overlay, publisher, subscriber = overlay_with_traffic()
+    publish_round(overlay, publisher, seed=1)
+    assert any(
+        len(b.match_cache) > 0 for b in overlay.brokers.values()
+    ), "traffic should have warmed at least one broker cache"
+    warmed = overlay.brokers["b1"]
+    assert len(warmed.match_cache) > 0
+    restored = overlay.restart_broker("b1", with_state=True)
+    assert len(restored.match_cache) == 0
+    assert restored._match_generation == 0
+    # ... and routing still works from the cold cache.
+    doc = publish_round(overlay, publisher, seed=2)
+    assert doc in subscriber.delivered_documents()
+
+
+def test_snapshot_restore_drops_cache():
+    """The persisted broker image carries no cached match results."""
+    from repro.broker.persistence import restore, snapshot
+
+    broker = make_broker()
+    churn(broker)
+    for i, path in enumerate(PROBE_PATHS):
+        broker.handle(pub(path, path_id=i), "n2")
+    assert len(broker.match_cache) > 0
+    assert broker._match_generation > 0
+    clone = restore(snapshot(broker))
+    assert len(clone.match_cache) == 0
+    assert clone._match_generation == 0
+
+
+def test_crash_recovery_starts_with_empty_cache():
+    overlay, publisher, subscriber = overlay_with_traffic(faults=FaultPlan())
+    publish_round(overlay, publisher, seed=3)
+    warmed = overlay.brokers["b1"]
+    assert len(warmed.match_cache) > 0
+    overlay.crash_broker("b1", with_state=True)
+    overlay.recover_broker("b1")
+    overlay.run()
+    recovered = overlay.brokers["b1"]
+    # The recovery replay may already have warmed the *new* cache, but
+    # it is a fresh object — nothing cached before the crash survives
+    # (test_snapshot_restore_drops_cache pins the cold-start itself).
+    assert recovered is not warmed
+    assert recovered.match_cache is not warmed.match_cache
+    doc = publish_round(overlay, publisher, seed=4)
+    assert doc in subscriber.delivered_documents()
+
+
+# -- batched dispatch equivalence ------------------------------------------
+
+
+def delivered_with(batching):
+    overlay, publisher, subscriber = overlay_with_traffic(batching=batching)
+    subscriber2 = overlay.attach_subscriber("sub2", "b2")
+    subscriber2.subscribe("//ProteinEntry")
+    overlay.run()
+    docs = generate_documents(psd_dtd(), 4, seed=17, target_bytes=800)
+    for doc in docs:
+        publisher.publish_document(doc)
+    overlay.run()
+    return overlay.delivered_map()
+
+
+def test_batched_dispatch_delivers_identical_sets():
+    assert delivered_with(batching=True) == delivered_with(batching=False)

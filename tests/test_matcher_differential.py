@@ -11,6 +11,11 @@ any publication path is a bug in at least one engine.
 
 from hypothesis import given, settings, strategies as st
 
+from repro.covering.pathmatch import (
+    matches_path,
+    matches_path_reference,
+    path_matcher,
+)
 from repro.dtd.paths import enumerate_paths
 from repro.dtd.samples import nitf_dtd, psd_dtd
 from repro.matching import (
@@ -21,6 +26,7 @@ from repro.matching import (
 )
 from repro.workloads.xpath_generator import XPathWorkloadParams, generate_queries
 from repro.xpath import parse_xpath
+from repro.xpath.compiled import compile_xpe, set_compiled_enabled
 
 ENGINES = (LinearMatcher, TreeMatcher, PredicateIndexMatcher, YFilterMatcher)
 
@@ -172,3 +178,144 @@ def test_second_dtd_smoke():
         (False, i) for i in range(0, len(pool), 3)
     ]
     run_differential(ops, paths, pool)
+
+
+def test_engines_agree_under_reference_interpreter():
+    """The four-engine differential holds with the compiled fast path
+    disabled (``REPRO_COMPILED=0`` mode) — every engine falls back to
+    the reference interpreter and still agrees."""
+    set_compiled_enabled(False)
+    try:
+        test_second_dtd_smoke()
+    finally:
+        set_compiled_enabled(True)
+
+
+# -- compiled XPE vs. reference interpreter --------------------------------
+
+_ELEMENT_NAMES = ("a", "b", "c", "d")
+_ATTR_CHOICES = (
+    None,
+    {},
+    {"k": "1"},
+    {"k": "2"},
+    {"j": "2"},
+    {"k": "1", "j": "2"},
+)
+
+_step = st.tuples(
+    st.sampled_from(("/", "//", "")),  # "" = relative start (first step only)
+    st.sampled_from(_ELEMENT_NAMES + ("*",)),
+    st.sampled_from(("", "[@k]", "[@k='1']", "[@k!='1']", "[@j='2']")),
+)
+
+
+@st.composite
+def xpe_texts(draw):
+    steps = draw(st.lists(_step, min_size=1, max_size=5))
+    parts = []
+    for index, (sep, test, predicate) in enumerate(steps):
+        if index == 0:
+            sep = sep or ""  # "a/..." is a relative expression
+        else:
+            sep = sep or "/"
+        parts.append(sep + test + predicate)
+    return "".join(parts)
+
+
+@st.composite
+def publication_paths(draw):
+    # Path elements include a literal "*" — a legal (if perverse)
+    # element name that only a wildcard test may match.
+    elements = draw(
+        st.lists(
+            st.sampled_from(_ELEMENT_NAMES + ("*", "e")),
+            min_size=0,
+            max_size=7,
+        )
+    )
+    attributes = draw(
+        st.one_of(
+            st.none(),
+            st.lists(
+                st.sampled_from(_ATTR_CHOICES[1:]),
+                min_size=len(elements),
+                max_size=len(elements),
+            ).map(tuple),
+        )
+    )
+    return tuple(elements), attributes
+
+
+@settings(max_examples=400)
+@given(text=xpe_texts(), probe=publication_paths())
+def test_compiled_matches_equals_reference(text, probe):
+    """`CompiledXPE.matches` ≡ the reference interpreter for random
+    XPEs and paths, attribute predicates included."""
+    path, attributes = probe
+    expr = parse_xpath(text)
+    expected = matches_path_reference(expr, path, attributes)
+    assert compile_xpe(expr).matches(path, attributes) == expected
+    # The bulk-matcher variant (precomputed path string) agrees too.
+    assert path_matcher(path, attributes)(expr) == expected
+    # And the public dispatch agrees in both flag modes.
+    assert matches_path(expr, path, attributes) == expected
+    set_compiled_enabled(False)
+    try:
+        assert matches_path(expr, path, attributes) == expected
+    finally:
+        set_compiled_enabled(True)
+
+
+#: Deterministic `//`/`*` edge cases: wildcard-only segments, a
+#: relative infix that must land at the very end of the path, gaps of
+#: length zero, anchored-vs-relative boundary alignment, and paths
+#: shorter than the expression.
+_EDGE_EXPRS = (
+    "/a",
+    "a",
+    "*",
+    "*/*",
+    "//*",
+    "/*/*",
+    "//*/*",
+    "/a//*",
+    "a//*",
+    "//a//b",
+    "/a//a//a",
+    "b/c",
+    "//b/c",
+    "a/*/c",
+    "//c",
+    "/a/b/c",
+    "*//c",
+    "//*//c",
+)
+
+_EDGE_PATHS = (
+    (),
+    ("a",),
+    ("b",),
+    ("*",),
+    ("a", "b"),
+    ("a", "b", "c"),
+    ("a", "a", "a"),
+    ("a", "x", "b", "c"),
+    ("b", "c"),
+    ("c", "b"),
+    ("a", "b", "c", "d"),
+    ("x", "a", "b", "c"),
+    ("a", "a"),
+)
+
+
+def test_compiled_edge_cases_match_reference():
+    for text in _EDGE_EXPRS:
+        expr = parse_xpath(text)
+        compiled = compile_xpe(expr)
+        for path in _EDGE_PATHS:
+            expected = matches_path_reference(expr, path)
+            assert compiled.matches(path) == expected, (
+                "%r vs %r: compiled %r, reference %r"
+                % (text, path, compiled.matches(path), expected)
+            )
