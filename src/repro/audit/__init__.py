@@ -1,0 +1,40 @@
+"""Routing-state audit: ground-truth oracle + invariant checker.
+
+The audit layer answers the question every routing optimisation raises:
+after covering suppression, merging and fault recovery have all rewritten
+the distributed routing state, is it still *correct*?  An
+:class:`AuditOracle` attaches to any :class:`~repro.network.overlay.Overlay`
+run, mirrors the clients' ground truth (live subscriptions and
+advertisements, expected delivery sets), and at any quiescent point diffs
+every broker's tables against the reference — classifying divergences as
+soundness violations, unexplained false positives, or imperfections
+explained by a recorded merge within the degree budget.
+
+See docs/audit.md for the invariant catalogue.
+"""
+
+from repro.audit.oracle import (
+    AuditOracle,
+    AuditReport,
+    Violation,
+    EXPLAINED_FP,
+    SOUNDNESS,
+    UNEXPLAINED_FP,
+)
+from repro.audit.harness import (
+    audit_scenarios,
+    run_audit_matrix,
+    run_audited_workload,
+)
+
+__all__ = [
+    "AuditOracle",
+    "AuditReport",
+    "Violation",
+    "SOUNDNESS",
+    "UNEXPLAINED_FP",
+    "EXPLAINED_FP",
+    "audit_scenarios",
+    "run_audit_matrix",
+    "run_audited_workload",
+]

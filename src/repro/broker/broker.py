@@ -44,7 +44,8 @@ from repro.covering.pathmatch import matches_path
 from repro.covering.subscription_tree import SubscriptionTree
 from repro.errors import ProtocolError, RoutingError
 from repro.matching.engine import LinearMatcher
-from repro.merging.engine import MergingEngine, PathUniverse
+from repro.merging.engine import MergeEvent, MergingEngine, PathUniverse
+from repro.merging.registry import MergerRegistry
 from repro.xpath.ast import XPathExpr
 
 Outbound = List[Tuple[object, Message]]
@@ -87,6 +88,7 @@ class Broker:
             self.flat = LinearMatcher()
 
         self._merger: Optional[MergingEngine] = None
+        self._merge_registry: Optional[MergerRegistry] = None
         if self.config.merging is not MergingMode.OFF:
             max_degree = (
                 0.0
@@ -96,7 +98,11 @@ class Broker:
             self._merger = MergingEngine(
                 universe=universe, max_degree=max_degree
             )
+            self._merge_registry = MergerRegistry()
         self._subs_since_merge = 0
+        #: Applied merge events, in order — the audit oracle attributes
+        #: false positives to these (persisted across crash recovery).
+        self.merge_log: List[MergeEvent] = []
 
         # Exact client subscriptions: the edge-delivery filter.
         self.client_subs: Dict[object, Set[XPathExpr]] = defaultdict(set)
@@ -247,13 +253,31 @@ class Broker:
 
     def handle_subscribe(self, msg: SubscribeMsg, from_hop: object) -> Outbound:
         expr = msg.expr
+        merge_registry = self._merge_registry
         if from_hop in self._keys_of(expr):
             # At-least-once redelivery of a subscription this broker
             # already holds for this hop: re-applying it must not touch
             # the covering tree, last-hop tables or the merge cadence —
             # everything it could trigger already happened.
+            if merge_registry is not None and merge_registry.is_merger(expr):
+                # The hop subscribed the merger expression itself; its
+                # interest must outlive the constituents it may also
+                # contribute through.
+                merge_registry.add_direct(expr, from_hop)
             self.stats["redelivered"] += 1
             obs.inc("broker.redelivered.subscribe")
+            if from_hop in self.local_clients:
+                self.client_subs[from_hop].add(expr)
+            return []
+        if (
+            merge_registry is not None
+            and merge_registry.find_contribution(expr, from_hop) is not None
+        ):
+            # A constituent this broker merged away: the merger already
+            # carries this hop's interest, so the routing state is
+            # complete — only the exact edge filter needs the expr.
+            self.stats["redelivered"] += 1
+            obs.inc("broker.merge.constituent_resubscribe")
             if from_hop in self.local_clients:
                 self.client_subs[from_hop].add(expr)
             return []
@@ -360,21 +384,49 @@ class Broker:
         expr = msg.expr
         if from_hop in self.local_clients:
             self.client_subs[from_hop].discard(expr)
+        merge_registry = self._merge_registry
         if from_hop not in self._keys_of(expr):
+            if merge_registry is not None:
+                merger = merge_registry.find_contribution(expr, from_hop)
+                if merger is not None:
+                    # The expr was merged away; this hop's interest now
+                    # lives on the merger's key.  Retire the merger key
+                    # once its last reason (constituent or direct
+                    # subscription) for this hop is gone.
+                    merge_registry.remove_contribution(merger, expr, from_hop)
+                    obs.inc("broker.merge.constituent_unsubscribe")
+                    if merge_registry.hop_needs(merger, from_hop):
+                        return []
+                    return self._retire_key(merger, from_hop)
             # unknown (already removed, or redelivered) — a no-op, so
             # retrying an unsubscription can never corrupt the tables.
             self.stats["redelivered"] += 1
             obs.inc("broker.redelivered.unsubscribe")
             return []
-        self._invalidate_match_cache()
+        if merge_registry is not None and merge_registry.is_merger(expr):
+            # Unsubscription of the merger expression itself: the key
+            # must survive while any constituent behind this hop still
+            # justifies it.
+            merge_registry.remove_direct(expr, from_hop)
+            if merge_registry.hop_needs(expr, from_hop):
+                obs.inc("broker.merge.direct_unsubscribe_held")
+                return []
+        return self._retire_key(expr, from_hop)
 
+    def _retire_key(self, expr: XPathExpr, from_hop: object) -> Outbound:
+        """Remove *expr*'s key for *from_hop* from the routing table and
+        emit the resulting retractions/promotions.  Every UNSUBSCRIBE
+        emitted here goes through :meth:`_emit_retractions`, which drops
+        the forwarding marks atomically with the emission — a mark must
+        never outlive the upstream entry it describes (it would suppress
+        a later re-forward of the same expression)."""
+        self._invalidate_match_cache()
         out: Outbound = []
         if self.config.covering:
             outcome = self.tree.remove(expr, from_hop)
             if not outcome.removed:
                 return out
-            for n in self.forwarded.drop(expr):
-                out.append((n, UnsubscribeMsg(expr=expr)))
+            out.extend(self._emit_retractions(expr))
             # Children the removed node was covering may now need their
             # own propagation.
             for promoted in outcome.promoted:
@@ -393,9 +445,21 @@ class Broker:
             before = len(self.flat)
             self.flat.remove(expr, from_hop)
             if len(self.flat) < before:
-                for n in self.forwarded.drop(expr):
-                    out.append((n, UnsubscribeMsg(expr=expr)))
+                out.extend(self._emit_retractions(expr))
+        if (
+            self._merge_registry is not None
+            and self._merge_registry.is_merger(expr)
+            and not self._keys_of(expr)
+        ):
+            self._merge_registry.forget(expr)
         return out
+
+    def _emit_retractions(self, expr: XPathExpr) -> Outbound:
+        """UNSUBSCRIBE *expr* from every neighbour it was forwarded to,
+        clearing the marks in the same step."""
+        return [
+            (n, UnsubscribeMsg(expr=expr)) for n in self.forwarded.drop(expr)
+        ]
 
     # -- publications --------------------------------------------------------------
 
@@ -522,29 +586,40 @@ class Broker:
 
     def run_merge_sweep(self) -> Outbound:
         """Apply one merging sweep and emit the routing updates: forward
-        each merger, then retract the subscriptions it replaced."""
-        if self._merger is None or self.tree is None:
+        each merger, then retract the subscriptions it replaced.
+
+        Every event is recorded in the constituent registry (and the
+        merge log) even when nothing was ever forwarded — a purely
+        local merge still rewrites the table, and the registry is what
+        lets a later constituent UNSUBSCRIBE retire the merger."""
+        if self._merger is None:
             return []
-        report = self._merger.merge_tree(self.tree)
+        if self.config.covering:
+            report = self._merger.merge_tree(self.tree)
+        else:
+            report = self._merger.merge_flat(self.flat)
+        # Sweeps rewrite the table through the engine's internals, in
+        # both covering and flat mode: cached destination sets computed
+        # before the sweep are stale from here on.
         self._invalidate_match_cache()
         out: Outbound = []
         for event in report.events:
+            self._merge_registry.record(event)
+            self.merge_log.append(event)
             replaced_hops: Set[object] = set()
             for old in event.replaced:
                 replaced_hops |= self.forwarded.neighbors_for(old)
-            if not replaced_hops:
-                continue  # nothing was ever forwarded; purely local merge
-            targets = self._subscription_targets(event.merger, None)
-            for n in sorted(targets, key=str):
-                if self.forwarded.was_sent(event.merger, n):
-                    continue
-                if self._covered_at(event.merger, n, exclude=event.merger):
-                    continue
-                out.append((n, SubscribeMsg(expr=event.merger)))
-                self.forwarded.mark(event.merger, n)
+            if replaced_hops:
+                targets = self._subscription_targets(event.merger, None)
+                for n in sorted(targets, key=str):
+                    if self.forwarded.was_sent(event.merger, n):
+                        continue
+                    if self._covered_at(event.merger, n, exclude=event.merger):
+                        continue
+                    out.append((n, SubscribeMsg(expr=event.merger)))
+                    self.forwarded.mark(event.merger, n)
             for old in event.replaced:
-                for n in self.forwarded.drop(old):
-                    out.append((n, UnsubscribeMsg(expr=old)))
+                out.extend(self._emit_retractions(old))
         return out
 
     # -- metrics ------------------------------------------------------------------
@@ -579,6 +654,9 @@ class Broker:
         }
         if self.config.covering:
             summary["top_level_subscriptions"] = self.tree.top_level_size()
+        if self._merge_registry is not None:
+            summary["live_mergers"] = len(self._merge_registry)
+            summary["merge_events"] = len(self.merge_log)
         if self.advert_covers is not None:
             summary["maximal_advertisements"] = (
                 self.advert_covers.maximal_count()

@@ -20,6 +20,7 @@ from typing import Dict
 from repro.broker.broker import Broker
 from repro.broker.strategies import MergingMode, RoutingConfig
 from repro.errors import ReproError
+from repro.merging.engine import MergeEvent
 from repro.network.wire import advert_from_obj, advert_to_obj
 from repro.xpath.parser import parse_xpath
 
@@ -71,6 +72,30 @@ def snapshot(broker: Broker) -> Dict:
             if exprs
         },
     }
+    if broker._merge_registry is not None:
+        registry = broker._merge_registry
+        state["mergers"] = [
+            {
+                "expr": str(merger),
+                "direct": sorted(map(str, registry.direct.get(merger, ()))),
+                "constituents": [
+                    {"expr": str(expr), "hops": sorted(map(str, hops))}
+                    for expr, hops in sorted(
+                        registry.constituents[merger].items(),
+                        key=lambda item: str(item[0]),
+                    )
+                ],
+            }
+            for merger in sorted(registry.mergers(), key=str)
+        ]
+        state["merge_log"] = [
+            {
+                "merger": str(event.merger),
+                "replaced": [str(expr) for expr in event.replaced],
+                "degree": event.degree,
+            }
+            for event in broker.merge_log
+        ]
     return state
 
 
@@ -131,6 +156,27 @@ def restore(state: Dict, universe=None) -> Broker:
         for client, exprs in state.get("client_subs", {}).items():
             for text in exprs:
                 broker.client_subs[client].add(parse_xpath(text))
+        if broker._merge_registry is not None:
+            registry = broker._merge_registry
+            for item in state.get("mergers", ()):
+                merger = parse_xpath(item["expr"])
+                bucket = registry.constituents.setdefault(merger, {})
+                direct = registry.direct.setdefault(merger, set())
+                direct.update(item.get("direct", ()))
+                for entry in item.get("constituents", ()):
+                    bucket.setdefault(
+                        parse_xpath(entry["expr"]), set()
+                    ).update(entry["hops"])
+            for item in state.get("merge_log", ()):
+                broker.merge_log.append(
+                    MergeEvent(
+                        merger=parse_xpath(item["merger"]),
+                        replaced=tuple(
+                            parse_xpath(text) for text in item["replaced"]
+                        ),
+                        degree=item["degree"],
+                    )
+                )
         return broker
     except (KeyError, TypeError, ValueError) as exc:
         raise PersistenceError("malformed broker snapshot: %s" % exc)

@@ -30,8 +30,10 @@ class RoutingConfig:
             advertisements instead of flooding them.
         covering: suppress forwarding of covered subscriptions and
             unsubscribe displaced ones.
-        merging: merge similar XPEs in the routing table (requires
-            covering — merging operates on the subscription tree).
+        merging: merge similar XPEs in the routing table.  With
+            covering the sweep rewrites the subscription tree; without
+            it the flat table is swept as one sibling group (see
+            ``MergingEngine.merge_flat``).
         max_imperfect_degree: imperfection budget for ``IMPERFECT``
             merging (the paper's headline configuration uses 0.1).
         merge_interval: run a merge sweep after this many processed
@@ -50,11 +52,6 @@ class RoutingConfig:
     advert_covering: bool = False
 
     def __post_init__(self):
-        if self.merging is not MergingMode.OFF and not self.covering:
-            raise ValueError(
-                "merging requires covering (it operates on the "
-                "subscription tree)"
-            )
         if self.merge_interval < 1:
             raise ValueError("merge_interval must be at least 1")
 
@@ -130,11 +127,10 @@ class RoutingConfig:
     @property
     def name(self) -> str:
         adv = "with-Adv" if self.advertisements else "no-Adv"
-        if not self.covering:
-            return "%s-no-Cov" % adv
+        cov = "with-Cov" if self.covering else "no-Cov"
         suffix = {
             MergingMode.OFF: "",
             MergingMode.PERFECT: "PM",
             MergingMode.IMPERFECT: "IPM",
         }[self.merging]
-        return "%s-with-Cov%s" % (adv, suffix)
+        return "%s-%s%s" % (adv, cov, suffix)

@@ -204,6 +204,61 @@ def cmd_stats(args) -> int:
     return 0
 
 
+AUDIT_SCENARIOS = (
+    "fault-free",
+    "drop-only",
+    "duplicate-only",
+    "reorder-only",
+    "partition-heals",
+    "crash-restart",
+)
+
+
+def cmd_audit(args) -> int:
+    """Run the routing-state audit over the chaos scenario matrix and
+    exit nonzero when any invariant is violated (see docs/audit.md)."""
+    from repro.audit import audit_scenarios, run_audited_workload
+
+    scenarios = audit_scenarios(args.seed)
+    names = (
+        list(AUDIT_SCENARIOS) if args.scenario == "all" else [args.scenario]
+    )
+    failures = 0
+    for name in names:
+        _, _, report = run_audited_workload(
+            plan=scenarios[name],
+            levels=args.levels,
+            xpes_per_leaf=args.xpes,
+            documents=args.documents,
+            max_degree=args.max_degree,
+            merge_interval=args.merge_interval,
+            seed=args.seed + 3,
+        )
+        status = "OK" if report.ok else "FAIL"
+        print(
+            "%-16s %-4s  soundness=%d unexplained_fp=%d explained_fp=%d"
+            % (
+                name,
+                status,
+                len(report.soundness),
+                len(report.unexplained_fp),
+                len(report.explained_fp),
+            )
+        )
+        if not report.ok:
+            failures += 1
+            for violation in report.soundness + report.unexplained_fp:
+                print("  " + str(violation))
+    if failures:
+        print(
+            "audit FAILED: %d of %d scenarios violated (seed=%d)"
+            % (failures, len(names), args.seed)
+        )
+        return 1
+    print("audit OK: %d scenarios clean (seed=%d)" % (len(names), args.seed))
+    return 0
+
+
 def cmd_experiments(args) -> int:
     from repro.experiments.__main__ import main as experiments_main
 
@@ -304,6 +359,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_faults_option(p)
     p.set_defaults(fn=cmd_stats)
+
+    p = sub.add_parser(
+        "audit",
+        help="routing-state audit: oracle + invariant checker over the "
+        "chaos scenario matrix",
+    )
+    p.add_argument(
+        "--scenario",
+        default="all",
+        choices=("all",) + AUDIT_SCENARIOS,
+        help="one scenario, or 'all' for the full matrix",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--levels", type=int, default=3, help="broker tree depth")
+    p.add_argument("--xpes", type=int, default=12, help="XPEs per leaf")
+    p.add_argument("--documents", type=int, default=5)
+    p.add_argument("--max-degree", type=float, default=0.1)
+    p.add_argument("--merge-interval", type=int, default=4)
+    p.set_defaults(fn=cmd_audit)
 
     p = sub.add_parser("experiments", help="reproduce the paper's tables/figures")
     p.add_argument("--scale", type=float, default=1.0)

@@ -94,11 +94,21 @@ class PathUniverse:
 
 @dataclass(frozen=True)
 class MergeEvent:
-    """One applied merge: *merger* replaced *replaced* in the tree."""
+    """One applied merge: *merger* replaced *replaced* in the tree.
+
+    ``replaced_keys`` carries the last-hop keys each replaced XPE held
+    at the moment of the merge (aligned with ``replaced``), and
+    ``merger_prior_keys`` the keys a pre-existing merger node already
+    held (None when the merger node was created by this event).  Both
+    exist so a broker can keep an exact constituent registry — the
+    state needed to retire a merger once its last constituent
+    unsubscribes (see :mod:`repro.merging.registry`)."""
 
     merger: XPathExpr
     replaced: Tuple[XPathExpr, ...]
     degree: float
+    replaced_keys: Tuple[frozenset, ...] = ()
+    merger_prior_keys: Optional[frozenset] = None
 
 
 @dataclass
@@ -205,12 +215,19 @@ class MergingEngine:
             if event is None:
                 break
             merger, group, degree = event
+            existing = tree.node_of(merger)
+            prior_keys = (
+                frozenset(existing.keys) if existing is not None else None
+            )
+            replaced_keys = tuple(frozenset(node.keys) for node in group)
             self._apply(tree, parent, merger, group)
             report.events.append(
                 MergeEvent(
                     merger=merger,
                     replaced=tuple(node.expr for node in group),
                     degree=degree,
+                    replaced_keys=replaced_keys,
+                    merger_prior_keys=prior_keys,
                 )
             )
             changed = True
@@ -307,3 +324,75 @@ class MergingEngine:
             parent.children.remove(sibling)
             sibling.parent = target
             target.children.append(sibling)
+
+    # -- flat sweep ----------------------------------------------------------
+
+    def merge_flat(self, matcher) -> MergeReport:
+        """One merging sweep over a flat :class:`LinearMatcher` table.
+
+        Non-covering brokers keep their PRT in a flat table; merging
+        still applies (the rules act on XPE shapes, not on tree
+        structure) by treating the whole table as one sibling group.
+        The matcher is rewritten through its ``add``/``remove`` API so
+        its match epoch advances and memoised results version out.
+        """
+        registry = obs.get_registry()
+        if not registry.enabled:
+            return self._merge_flat(matcher)
+        with registry.timer("merging.sweep"):
+            report = self._merge_flat(matcher)
+        registry.counter("merging.events").inc(len(report.events))
+        registry.counter("merging.merged_away").inc(report.merged_away)
+        return report
+
+    def _merge_flat(self, matcher) -> MergeReport:
+        report = MergeReport()
+        # A detached sibling group mirroring the flat table lets the
+        # rule-1 bucketing and bounded pairwise search run unchanged.
+        parent = SubNode(expr=None)
+        for expr in matcher.exprs():
+            parent.children.append(
+                SubNode(expr=expr, parent=parent, keys=matcher.keys_of(expr))
+            )
+        by_expr = {node.expr: node for node in parent.children}
+        while True:
+            event = self._find_rule1_merge(parent)
+            if event is None and len(parent.children) <= self._pairwise_limit:
+                event = self._find_pairwise_merge(parent)
+            if event is None:
+                break
+            merger, group, degree = event
+            existing = by_expr.get(merger)
+            prior_keys = (
+                frozenset(existing.keys) if existing is not None else None
+            )
+            merged_keys: Set[object] = set()
+            replaced = []
+            replaced_keys = []
+            for node in group:
+                if node is existing:
+                    continue
+                parent.children.remove(node)
+                del by_expr[node.expr]
+                merged_keys |= node.keys
+                replaced.append(node.expr)
+                replaced_keys.append(frozenset(node.keys))
+                for key in node.keys:
+                    matcher.remove(node.expr, key)
+            if existing is None:
+                existing = SubNode(expr=merger, parent=parent, keys=set())
+                parent.children.append(existing)
+                by_expr[merger] = existing
+            existing.keys |= merged_keys
+            for key in merged_keys:
+                matcher.add(merger, key)
+            report.events.append(
+                MergeEvent(
+                    merger=merger,
+                    replaced=tuple(replaced),
+                    degree=degree,
+                    replaced_keys=tuple(replaced_keys),
+                    merger_prior_keys=prior_keys,
+                )
+            )
+        return report

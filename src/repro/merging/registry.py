@@ -1,0 +1,132 @@
+"""Constituent bookkeeping for merged subscriptions.
+
+Merging rewrites a broker's routing table in place: the constituents'
+nodes disappear and the merger inherits their last-hop keys.  That is
+exactly the information an UNSUBSCRIBE for a constituent later needs —
+without it the unsubscription hits the "unknown expression" no-op path
+and the merger (plus its upstream forwarding) leaks forever.
+
+:class:`MergerRegistry` keeps, per live merger, which (constituent
+expression, hop) pairs it absorbed and which hops subscribed the merger
+expression itself ("direct" interest).  The broker maintains the
+invariant that a merger node's key set equals its direct hops unioned
+with all constituent hops; a key is retired exactly when the last
+reason for it disappears.
+
+Chained merges flatten: when a sweep replaces an expression that is
+itself a registered merger, its constituent entries move under the new
+merger (and its direct hops become a constituent entry of their own),
+so lookups never have to walk merge chains.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set
+
+from repro.merging.engine import MergeEvent
+from repro.xpath.ast import XPathExpr
+
+
+class MergerRegistry:
+    """Tracks why each merger key exists (constituents and direct subs)."""
+
+    def __init__(self):
+        #: merger -> constituent expression -> hops contributing via it
+        self.constituents: Dict[XPathExpr, Dict[XPathExpr, Set[object]]] = {}
+        #: merger -> hops that subscribed the merger expression itself
+        self.direct: Dict[XPathExpr, Set[object]] = {}
+
+    def __len__(self):
+        return len(self.constituents)
+
+    def is_merger(self, expr: XPathExpr) -> bool:
+        return expr in self.constituents
+
+    def mergers(self) -> Iterable[XPathExpr]:
+        return list(self.constituents)
+
+    def record(self, event: MergeEvent):
+        """Fold one applied :class:`MergeEvent` into the registry."""
+        merger = event.merger
+        bucket = self.constituents.setdefault(merger, {})
+        direct = self.direct.setdefault(merger, set())
+        if event.merger_prior_keys and not bucket and not direct:
+            # The merger expression pre-existed as a plain subscription:
+            # its prior keys are direct interest in the merger itself.
+            direct |= event.merger_prior_keys
+        for expr, keys in zip(event.replaced, event.replaced_keys):
+            if expr == merger:
+                continue
+            if expr in self.constituents:
+                # Chained merge: flatten the absorbed merger's entries.
+                for leaf, hops in self.constituents.pop(expr).items():
+                    bucket.setdefault(leaf, set()).update(hops)
+                absorbed_direct = self.direct.pop(expr, set())
+                if absorbed_direct:
+                    bucket.setdefault(expr, set()).update(absorbed_direct)
+            else:
+                bucket.setdefault(expr, set()).update(keys)
+
+    # -- queries -------------------------------------------------------------
+
+    def find_contribution(
+        self, expr: XPathExpr, hop: object
+    ) -> Optional[XPathExpr]:
+        """The merger holding *hop*'s interest in constituent *expr*."""
+        for merger, bucket in self.constituents.items():
+            hops = bucket.get(expr)
+            if hops and hop in hops:
+                return merger
+        return None
+
+    def hop_needs(self, merger: XPathExpr, hop: object) -> bool:
+        """Does *hop* still justify a key on *merger*?"""
+        if hop in self.direct.get(merger, ()):
+            return True
+        return any(
+            hop in hops
+            for hops in self.constituents.get(merger, {}).values()
+        )
+
+    def contributed_hops(self, merger: XPathExpr) -> Set[object]:
+        hops: Set[object] = set(self.direct.get(merger, ()))
+        for constituent_hops in self.constituents.get(merger, {}).values():
+            hops |= constituent_hops
+        return hops
+
+    def constituents_absorbed_from(self, hop: object) -> Set[XPathExpr]:
+        """Constituent expressions some merger absorbed for *hop* (the
+        downstream half of the forwarded-mark agreement invariant)."""
+        absorbed: Set[XPathExpr] = set()
+        for bucket in self.constituents.values():
+            for expr, hops in bucket.items():
+                if hop in hops:
+                    absorbed.add(expr)
+        return absorbed
+
+    # -- mutation ------------------------------------------------------------
+
+    def add_direct(self, merger: XPathExpr, hop: object):
+        if merger in self.constituents:
+            self.direct.setdefault(merger, set()).add(hop)
+
+    def remove_direct(self, merger: XPathExpr, hop: object):
+        self.direct.get(merger, set()).discard(hop)
+
+    def remove_contribution(
+        self, merger: XPathExpr, expr: XPathExpr, hop: object
+    ):
+        bucket = self.constituents.get(merger)
+        if bucket is None:
+            return
+        hops = bucket.get(expr)
+        if hops is None:
+            return
+        hops.discard(hop)
+        if not hops:
+            del bucket[expr]
+
+    def forget(self, merger: XPathExpr):
+        """Drop all registry state for a fully retired merger."""
+        self.constituents.pop(merger, None)
+        self.direct.pop(merger, None)

@@ -83,6 +83,7 @@ class Overlay:
         self.publishers: Dict[str, PublisherClient] = {}
         self._client_home: Dict[str, str] = {}
         self._tracers = []
+        self._auditors = []
         #: With queueing enabled a broker serialises its message
         #: processing: a message arriving while the broker is busy waits
         #: for the previous one to finish, so per-hop delays grow under
@@ -208,6 +209,8 @@ class Overlay:
                     if neighbor != entry.last_hop:
                         self._transport.send(broker_id, neighbor, announce, 1)
         self._transport._count("recoveries", "broker.recoveries")
+        for auditor in self._auditors:
+            auditor.observe_recovery(broker_id, with_state)
         return replacement
 
     # -- construction -----------------------------------------------------
@@ -324,6 +327,8 @@ class Overlay:
         broker_id = self._client_home.get(client_id)
         if broker_id is None:
             raise RoutingError("unknown client %r" % client_id)
+        for auditor in self._auditors:
+            auditor.observe_submit(client_id, message)
         latency = self.latency_model.latency(
             client_id, broker_id, _size_of(message)
         )
@@ -349,6 +354,9 @@ class Overlay:
         broker_id = self._client_home.get(client_id)
         if broker_id is None:
             raise RoutingError("unknown client %r" % client_id)
+        for auditor in self._auditors:
+            for message in messages:
+                auditor.observe_submit(client_id, message)
         latency = max(
             self.latency_model.latency(client_id, broker_id, _size_of(m))
             for m in messages
@@ -367,6 +375,27 @@ class Overlay:
         if getattr(tracer, "registry", None) is None:
             tracer.registry = self.metrics
         return tracer
+
+    def attach_auditor(self, auditor):
+        """Register a :class:`repro.audit.AuditOracle`; it observes
+        client submits, deliveries, and crash recoveries."""
+        self._auditors.append(auditor)
+        auditor.bind(self)
+        return auditor
+
+    def trigger_merge_sweep(self, broker_id: str):
+        """Force an immediate merge sweep on one broker and forward the
+        sweep's outbound control traffic (merger subscriptions plus
+        constituent retractions) into the network."""
+        if broker_id not in self.brokers:
+            raise TopologyError("unknown broker %r" % broker_id)
+        if broker_id in self._down:
+            return []
+        broker = self.brokers[broker_id]
+        outbound = broker.run_merge_sweep()
+        for destination, message in outbound:
+            self._forward(broker_id, destination, message, 0.0, 1)
+        return outbound
 
     def transport_deliver(
         self, broker_id: str, message: Message, from_hop: object, hops: int
@@ -525,6 +554,8 @@ class Overlay:
         client = self.subscribers[client_id]
         fresh = client.receive(message, hops)
         if fresh and isinstance(message, PublishMsg):
+            for auditor in self._auditors:
+                auditor.observe_delivery(client_id, message)
             # duplicates (client.receive returned False) never reach the
             # delivery statistics: redelivered publications count once.
             self.stats.record_delivery(

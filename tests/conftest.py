@@ -12,6 +12,7 @@ seed can be captured as an artifact and replayed locally.
 
 import os
 
+import pytest
 from hypothesis import HealthCheck, settings
 
 settings.register_profile(
@@ -28,3 +29,18 @@ settings.register_profile(
     print_blob=True,
 )
 settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "repro"))
+
+
+@pytest.fixture
+def audit_oracle():
+    """Factory: attach a fresh audit oracle to an overlay.
+
+    Usage: ``oracle = audit_oracle(overlay)`` *before* any client
+    traffic is submitted, then ``oracle.check()`` at a quiescent point.
+    """
+    from repro.audit import AuditOracle
+
+    def _attach(overlay, **kwargs):
+        return overlay.attach_auditor(AuditOracle(**kwargs))
+
+    return _attach

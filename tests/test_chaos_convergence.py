@@ -25,9 +25,10 @@ XPES_PER_LEAF = 12
 DOCUMENTS = 5
 
 
-def run_workload(plan=None, metrics=None):
+def run_workload(plan=None, metrics=None, attach=None):
     """Advertise, subscribe and publish on a 7-broker tree; return the
-    finished overlay."""
+    finished overlay.  ``attach`` is called with the overlay before any
+    traffic is submitted (e.g. to register an audit oracle)."""
     dtd = psd_dtd()
     overlay = Overlay.binary_tree(
         3,
@@ -38,6 +39,8 @@ def run_workload(plan=None, metrics=None):
         metrics=metrics,
         faults=plan,
     )
+    if attach is not None:
+        attach(overlay)
     publisher = overlay.attach_publisher("pub", "b1")
     publisher.advertise_dtd(dtd)
     overlay.run()
@@ -111,6 +114,33 @@ def test_converges_to_fault_free_ground_truth(name, ground_truth):
         assert stats["reordered"] > 0
     if plan.crashes:
         assert stats["crashes"] == 1 and stats["recoveries"] == 1
+
+
+@pytest.mark.parametrize("name", ["fault-free"] + sorted(SCENARIOS))
+def test_audit_oracle_reports_clean(name, audit_oracle):
+    """The ground-truth audit passes every invariant over the chaos
+    matrix (see repro.audit): zero soundness violations, zero
+    unexplained false positives."""
+    oracles = []
+    plan = SCENARIOS.get(name)
+    run_workload(plan, attach=lambda o: oracles.append(audit_oracle(o)))
+    report = oracles[0].check()
+    assert report.ok, report.summary()
+
+
+def test_audit_counters_surface_in_the_metrics_registry(audit_oracle):
+    registry = MetricsRegistry(enabled=True)
+    oracles = []
+    run_workload(
+        SCENARIOS["drop-only"],
+        metrics=registry,
+        attach=lambda o: oracles.append(audit_oracle(o)),
+    )
+    report = oracles[0].check()
+    assert report.ok, report.summary()
+    assert registry.counter("audit.checks").value == 1
+    assert registry.counter("audit.violations.soundness").value == 0
+    assert registry.counter("audit.violations.unexplained_fp").value == 0
 
 
 def test_fault_events_surface_in_the_metrics_registry():

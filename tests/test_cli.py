@@ -85,3 +85,26 @@ class TestSimulate:
         out = capsys.readouterr().out
         assert "with-Adv-with-Cov" in out
         assert "network_traffic" in out
+
+
+class TestAudit:
+    def test_single_scenario_clean(self, capsys):
+        rc = main(
+            [
+                "audit",
+                "--scenario",
+                "fault-free",
+                "--xpes",
+                "6",
+                "--documents",
+                "2",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fault-free" in out
+        assert "audit OK" in out
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["audit", "--scenario", "no-such-scenario"])

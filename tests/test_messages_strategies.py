@@ -8,7 +8,6 @@ from repro.broker.messages import (
     PublishMsg,
     SubscribeMsg,
     UnadvertiseMsg,
-    UnsubscribeMsg,
 )
 from repro.broker.strategies import MergingMode, RoutingConfig
 from repro.errors import (
@@ -65,11 +64,13 @@ class TestRoutingConfig:
         with pytest.raises(ValueError):
             RoutingConfig.by_name("with-Magic")
 
-    def test_merging_requires_covering(self):
-        with pytest.raises(ValueError):
-            RoutingConfig(
-                covering=False, merging=MergingMode.PERFECT
-            )
+    def test_merging_without_covering_is_allowed(self):
+        # Non-covering brokers sweep their flat table as one sibling
+        # group (MergingEngine.merge_flat); the combination is legal.
+        config = RoutingConfig(covering=False, merging=MergingMode.PERFECT)
+        assert config.name == "with-Adv-no-CovPM"
+        config = RoutingConfig(covering=False, merging=MergingMode.IMPERFECT)
+        assert config.name == "with-Adv-no-CovIPM"
 
     def test_merge_interval_validation(self):
         with pytest.raises(ValueError):
