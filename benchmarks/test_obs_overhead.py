@@ -22,7 +22,7 @@ from repro.workloads.datasets import psd_queries
 from repro.workloads.document_generator import generate_documents
 
 
-def _run_workload(xpes_per_subscriber=30, documents=5):
+def _run_workload(xpes_per_subscriber=30, documents=5, tracing=False):
     """Quickstart-shaped run: 7 brokers, PSD advertisements, four leaf
     subscribers, one publisher."""
     dtd = psd_dtd()
@@ -31,6 +31,8 @@ def _run_workload(xpes_per_subscriber=30, documents=5):
         config=RoutingConfig.full(),
         latency_model=ClusterLatency(seed=7),
     )
+    if tracing:
+        overlay.enable_tracing()
     subscribers = [
         overlay.attach_subscriber("sub%d" % index, leaf)
         for index, leaf in enumerate(overlay.leaf_brokers())
@@ -69,4 +71,43 @@ def test_overlay_run_metrics_disabled(benchmark):
     finally:
         if was_enabled:
             obs.enable_metrics()
+    assert overlay.stats.network_traffic > 0
+
+
+@pytest.mark.benchmark(group="tracing-overhead")
+def test_overlay_run_tracing_enabled(benchmark):
+    """The tracing-on cost of the same workload.  Metrics stay disabled
+    so the gated ``broker.handle.*``/``matching.*`` histograms from the
+    obs-overhead pair are not polluted by span bookkeeping; the span
+    stage histograms publish afterwards under the ungated
+    ``trace.stage.*`` prefix."""
+    from repro.obs.tracing import verify_traces
+
+    was_enabled = obs.get_registry().enabled
+    obs.disable_metrics()
+    try:
+        overlay = benchmark.pedantic(
+            lambda: _run_workload(tracing=True), rounds=3, iterations=1
+        )
+    finally:
+        if was_enabled:
+            obs.enable_metrics()
+    assert len(overlay.tracing) > 0
+    assert verify_traces(overlay) == []
+    overlay.tracing.publish_stage_metrics(obs.get_registry())
+
+
+@pytest.mark.benchmark(group="tracing-overhead")
+def test_overlay_run_tracing_disabled(benchmark):
+    """The tracing-off baseline of the pair: same workload and the same
+    metrics state, spans off — what check_obs_regression.py compares the
+    2x perf gate against."""
+    was_enabled = obs.get_registry().enabled
+    obs.disable_metrics()
+    try:
+        overlay = benchmark.pedantic(_run_workload, rounds=3, iterations=1)
+    finally:
+        if was_enabled:
+            obs.enable_metrics()
+    assert overlay.tracing is None
     assert overlay.stats.network_traffic > 0

@@ -66,11 +66,16 @@ def run_audited_workload(
     config: Optional[RoutingConfig] = None,
     metrics=None,
     check: bool = True,
+    tracing: bool = False,
+    flight_dir: Optional[str] = None,
 ):
     """Run the audited workload; returns ``(overlay, oracle, report)``.
 
     ``report`` is None when *check* is False (callers that want to keep
     mutating the overlay before auditing, e.g. the stateful suite).
+    With *tracing* the overlay stamps every operation with a causal
+    trace context before any traffic flows (``flight_dir`` is where
+    automatic flight-recorder dumps land; see :mod:`repro.obs.flight`).
     """
     dtd = psd_dtd()
     universe = PathUniverse.from_dtd(dtd, max_depth=10)
@@ -87,6 +92,8 @@ def run_audited_workload(
         metrics=metrics,
         faults=plan,
     )
+    if tracing:
+        overlay.enable_tracing(flight_dir=flight_dir)
     oracle = overlay.attach_auditor(AuditOracle())
 
     publisher = overlay.attach_publisher("pub", "b1")

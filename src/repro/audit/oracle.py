@@ -73,10 +73,19 @@ class Violation:
     code: str  # e.g. "missed-delivery", "leaked-merger", "stale-entry"
     broker_id: str  # "" for network-level violations
     detail: str
+    #: Causal trace ids of the operations behind this violation (filled
+    #: when the overlay runs with tracing enabled) — the exact traces to
+    #: replay or look up in a flight-recorder dump.
+    trace_ids: Tuple[str, ...] = ()
 
     def __str__(self):
         where = " at %s" % self.broker_id if self.broker_id else ""
-        return "[%s] %s%s: %s" % (self.kind, self.code, where, self.detail)
+        traces = (
+            " [trace %s]" % ", ".join(self.trace_ids) if self.trace_ids else ""
+        )
+        return "[%s] %s%s: %s%s" % (
+            self.kind, self.code, where, self.detail, traces
+        )
 
 
 @dataclass
@@ -128,6 +137,8 @@ class PubRecord:
     path: Tuple[str, ...]
     attributes: object
     expected: frozenset
+    #: the publication's causal trace ("" when tracing is off)
+    trace_id: str = ""
 
 
 def advert_matches_path(advert, path: Tuple[str, ...]) -> bool:
@@ -208,6 +219,7 @@ class AuditOracle:
                 for expr in exprs
             )
         )
+        context = getattr(message, "trace", None)
         self.publications[key] = PubRecord(
             publisher_id=client_id,
             doc_id=publication.doc_id,
@@ -215,6 +227,7 @@ class AuditOracle:
             path=publication.path,
             attributes=publication.attributes,
             expected=expected,
+            trace_id=context.trace_id if context is not None else "",
         )
 
     def _publishable(self, publisher_id: str, path: Tuple[str, ...]) -> bool:
@@ -256,6 +269,7 @@ class AuditOracle:
             )
             self._check_deliveries(report)
             self._count(report)
+            self._flight_dump_on_violation(report)
             return report
         self._check_deliveries(report)
         self._check_representation(report)
@@ -264,7 +278,31 @@ class AuditOracle:
         self._check_probes(report)
         self._check_merge_degrees(report)
         self._count(report)
+        self._flight_dump_on_violation(report)
         return report
+
+    def _flight_dump_on_violation(self, report: AuditReport):
+        """Flight-recorder trigger: a failed audit snapshots every
+        broker's span ring and records the offending trace ids, so the
+        report names both the dump and the exact traces to replay."""
+        tracing = getattr(self._overlay, "tracing", None)
+        if tracing is None or report.ok:
+            return
+        offenders = sorted(
+            {
+                trace_id
+                for violation in report.soundness + report.unexplained_fp
+                for trace_id in violation.trace_ids
+            }
+        )
+        if offenders:
+            report.info["traces"] = ", ".join(offenders)
+        dump = tracing.flight.dump(
+            "audit-violation", time=self._overlay.sim.now
+        )
+        report.info["flight_dump"] = dump.get(
+            "path", "in-memory #%d" % dump["sequence"]
+        )
 
     def _count(self, report: AuditReport):
         metrics = self._overlay.metrics
@@ -284,6 +322,7 @@ class AuditOracle:
     def _check_deliveries(self, report: AuditReport):
         for key, record in sorted(self.publications.items()):
             delivered = self.delivered.get(key, set())
+            traces = (record.trace_id,) if record.trace_id else ()
             for client in sorted(record.expected - delivered):
                 report.add(
                     Violation(
@@ -292,6 +331,7 @@ class AuditOracle:
                         "",
                         "%s never received %s#%d"
                         % (client, record.doc_id, record.path_id),
+                        trace_ids=traces,
                     )
                 )
             for client in sorted(delivered - record.expected):
@@ -302,6 +342,7 @@ class AuditOracle:
                         "",
                         "%s received %s#%d without a matching subscription"
                         % (client, record.doc_id, record.path_id),
+                        trace_ids=traces,
                     )
                 )
 

@@ -26,9 +26,11 @@ exposed to false positives (paper §4.3/§5).
 from __future__ import annotations
 
 from collections import defaultdict
+from time import perf_counter
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro import obs
+from repro.obs.tracing import current_scope
 from repro.cache import LRUCache
 from repro.broker.messages import (
     AdvertiseMsg,
@@ -287,6 +289,8 @@ class Broker:
 
         out: Outbound = []
         if self.config.covering:
+            scope = current_scope()
+            wall0 = perf_counter() if scope is not None else 0.0
             outcome = self.tree.insert(expr, from_hop)
             targets = self._subscription_targets(expr, from_hop)
             for n in sorted(targets, key=str):
@@ -304,6 +308,11 @@ class Broker:
                     if n in covered_now:
                         out.append((n, UnsubscribeMsg(expr=descendant)))
                         self.forwarded.unmark(descendant, n)
+            if scope is not None:
+                scope.sub_span(
+                    "covering.check", wall0, perf_counter(),
+                    forwards=len(out),
+                )
         else:
             self.flat.add(expr, from_hop)
             targets = self._subscription_targets(expr, from_hop)
@@ -540,12 +549,21 @@ class Broker:
         generation (see ``match_cache``)."""
         cache_key = (publication.path, publication.attributes)
         registry = obs.get_registry()
+        scope = current_scope()
+        wall0 = perf_counter() if scope is not None else 0.0
         entry = self.match_cache.get(cache_key)
+        cache_state = "miss"
         if entry is not None:
             if entry[0] == self._match_generation:
                 if registry.enabled:
                     registry.counter("broker.match_cache.hits").inc()
+                if scope is not None:
+                    scope.sub_span(
+                        "match", wall0, perf_counter(),
+                        cache="hit", keys=len(entry[1]),
+                    )
                 return entry[1]
+            cache_state = "stale"
             self.match_cache_stale += 1
             if registry.enabled:
                 registry.counter("broker.match_cache.stale").inc()
@@ -558,6 +576,13 @@ class Broker:
         else:
             keys = frozenset(self.flat.match(path, attributes))
         self.match_cache.put(cache_key, (self._match_generation, keys))
+        if scope is not None:
+            scope.sub_span(
+                "match", wall0, perf_counter(),
+                cache=cache_state,
+                engine="tree" if self.config.covering else "flat",
+                keys=len(keys),
+            )
         return keys
 
     def _invalidate_match_cache(self):
@@ -594,10 +619,17 @@ class Broker:
         lets a later constituent UNSUBSCRIBE retire the merger."""
         if self._merger is None:
             return []
+        scope = current_scope()
+        wall0 = perf_counter() if scope is not None else 0.0
         if self.config.covering:
             report = self._merger.merge_tree(self.tree)
         else:
             report = self._merger.merge_flat(self.flat)
+        if scope is not None:
+            scope.sub_span(
+                "merge.absorb", wall0, perf_counter(),
+                events=len(report.events),
+            )
         # Sweeps rewrite the table through the engine's internals, in
         # both covering and flat mode: cached destination sets computed
         # before the sweep are stale from here on.

@@ -35,6 +35,14 @@ def _next_msg_id() -> int:
 class Message:
     """Base class; ``msg_id`` is unique per process."""
 
+    #: Causal trace context (:class:`repro.obs.tracing.TraceContext`),
+    #: stamped once at mint/decode time via ``object.__setattr__``.  A
+    #: plain class attribute — not a dataclass field — so constructors,
+    #: ``replace`` and equality are untouched and untraced messages pay
+    #: nothing.  Per-hop causality travels out of band (one message
+    #: object can be in flight to several destinations at once).
+    trace = None
+
     msg_id: int = field(default_factory=_next_msg_id, init=False)
 
     @property

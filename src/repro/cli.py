@@ -259,6 +259,126 @@ def cmd_audit(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    """Run the chaos matrix with causal tracing on, verify that every
+    delivery tree is causally complete and its per-stage span sum stays
+    within the recorded end-to-end latency, and optionally export the
+    spans (Chrome trace JSON / Prometheus text) or dump flight rings."""
+    import json
+
+    from repro import obs
+    from repro.audit import audit_scenarios, run_audited_workload
+    from repro.obs.registry import MetricsRegistry
+    from repro.obs.tracing import verify_traces
+
+    scenarios = audit_scenarios(args.seed)
+    names = (
+        list(AUDIT_SCENARIOS) if args.scenario == "all" else [args.scenario]
+    )
+    stage_registry = MetricsRegistry(enabled=True)
+    all_spans = []
+    failures = 0
+    for name in names:
+        overlay, _, report = run_audited_workload(
+            plan=scenarios[name],
+            levels=args.levels,
+            xpes_per_leaf=args.xpes,
+            documents=args.documents,
+            seed=args.seed + 3,
+            tracing=True,
+            flight_dir=args.flight_dump,
+        )
+        recorder = overlay.tracing
+        problems = verify_traces(overlay)
+        trees = recorder.assemble()
+        complete = sum(1 for tree in trees.values() if tree.complete)
+        status = "OK" if report.ok and not problems else "FAIL"
+        print(
+            "%-16s %-4s  spans=%6d traces=%4d complete=%4d "
+            "deliveries=%4d audit=%s problems=%d"
+            % (
+                name,
+                status,
+                len(recorder),
+                len(trees),
+                complete,
+                len(overlay.stats.deliveries),
+                "OK" if report.ok else "FAIL",
+                len(problems),
+            )
+        )
+        for problem in problems:
+            print("  " + problem)
+        if not report.ok or problems:
+            failures += 1
+        if args.follow:
+            followed = recorder.trees_for_doc(args.follow)
+            if not followed:
+                print("  no trace touched document %r" % args.follow)
+            for tree in followed:
+                print(tree.render())
+        if args.last:
+            for broker_id in sorted(recorder.flight.recorders, key=str):
+                ring = recorder.flight.recorders[broker_id]
+                spans = ring.spans()[-args.last:]
+                print("  flight ring %s (last %d of %d):"
+                      % (broker_id, len(spans), len(ring)))
+                for span in spans:
+                    print("    %r" % span)
+        if args.flight_dump:
+            dump = recorder.flight.dump(
+                "cli-%s" % name, time=overlay.sim.now
+            )
+            print("  flight dump: %s" % dump.get("path", "in-memory"))
+        recorder.publish_stage_metrics(stage_registry)
+        all_spans.extend(recorder.spans)
+
+    print("\nper-stage latency decomposition (virtual seconds):")
+    print("%-28s %8s %12s %12s %12s" % ("stage", "count", "p50", "p95", "p99"))
+    for kind, metric, instrument in sorted(
+        stage_registry.iter_metrics(), key=lambda item: item[1]
+    ):
+        if kind != "histogram" or not metric.startswith("trace.stage."):
+            continue
+        stats = instrument.snapshot()
+        print(
+            "%-28s %8d %12.9f %12.9f %12.9f"
+            % (
+                metric[len("trace.stage."):],
+                stats["count"],
+                stats["p50"] or 0.0,
+                stats["p95"] or 0.0,
+                stats["p99"] or 0.0,
+            )
+        )
+
+    if args.export:
+        out = args.out or (
+            "trace-export.json" if args.export == "chrome"
+            else "trace-export.prom"
+        )
+        if args.export == "chrome":
+            with open(out, "w") as handle:
+                json.dump(obs.to_chrome_trace(all_spans), handle, indent=1)
+                handle.write("\n")
+        else:
+            with open(out, "w") as handle:
+                handle.write(obs.to_prometheus(stage_registry))
+        print("%s export written to %s" % (args.export, out))
+
+    if failures:
+        print(
+            "trace verification FAILED: %d of %d scenarios (seed=%d)"
+            % (failures, len(names), args.seed)
+        )
+        return 1
+    print(
+        "trace verification OK: %d scenarios, %d spans (seed=%d)"
+        % (len(names), len(all_spans), args.seed)
+    )
+    return 0
+
+
 def cmd_experiments(args) -> int:
     from repro.experiments.__main__ import main as experiments_main
 
@@ -378,6 +498,55 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-degree", type=float, default=0.1)
     p.add_argument("--merge-interval", type=int, default=4)
     p.set_defaults(fn=cmd_audit)
+
+    p = sub.add_parser(
+        "trace",
+        help="causal tracing: run the chaos matrix with tracing on, "
+        "verify delivery trees, export spans, dump flight rings",
+    )
+    p.add_argument(
+        "--scenario",
+        default="fault-free",
+        choices=("all",) + AUDIT_SCENARIOS,
+        help="one scenario, or 'all' for the full matrix",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--levels", type=int, default=3, help="broker tree depth")
+    p.add_argument("--xpes", type=int, default=12, help="XPEs per leaf")
+    p.add_argument("--documents", type=int, default=5)
+    p.add_argument(
+        "--follow",
+        metavar="DOC_ID",
+        default=None,
+        help="render the delivery tree of every trace touching this document",
+    )
+    p.add_argument(
+        "--export",
+        choices=("chrome", "prom"),
+        default=None,
+        help="write spans as Chrome trace-event JSON (load in Perfetto) "
+        "or the stage histograms as Prometheus text",
+    )
+    p.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="export destination (default trace-export.json/.prom)",
+    )
+    p.add_argument(
+        "--flight-dump",
+        metavar="DIR",
+        default=None,
+        help="write flight-recorder dumps (automatic and end-of-run) here",
+    )
+    p.add_argument(
+        "--last",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also print the last N flight-ring spans per broker",
+    )
+    p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser("experiments", help="reproduce the paper's tables/figures")
     p.add_argument("--scale", type=float, default=1.0)

@@ -26,6 +26,7 @@ from repro.network.latency import ClusterLatency, LatencyModel
 from repro.network.simulator import Simulator
 from repro.network.stats import DeliveryRecord, NetworkStats
 from repro.obs import MetricsRegistry
+from repro.obs.tracing import Span, TraceContext, TraceRecorder, stamp, trace_of
 
 
 class Overlay:
@@ -84,6 +85,9 @@ class Overlay:
         self._client_home: Dict[str, str] = {}
         self._tracers = []
         self._auditors = []
+        #: Causal tracing (see :meth:`enable_tracing`); None keeps every
+        #: hot path on the original zero-overhead branch.
+        self.tracing: Optional[TraceRecorder] = None
         #: With queueing enabled a broker serialises its message
         #: processing: a message arriving while the broker is busy waits
         #: for the previous one to finish, so per-hop delays grow under
@@ -96,7 +100,9 @@ class Overlay:
         self._transport = None
         self._down: Set[str] = set()
         self._crash_state: Dict[str, Optional[Dict]] = {}
-        self._held_while_down: Dict[str, List[Tuple[Message, object, int]]] = {}
+        self._held_while_down: Dict[
+            str, List[Tuple[Message, object, int, Optional[Span]]]
+        ] = {}
         if faults is not None:
             self.install_faults(faults)
 
@@ -123,6 +129,15 @@ class Overlay:
         if self._transport is not None:
             raise TopologyError("a fault plan is already installed")
         self._transport = ReliableTransport(self, plan)
+        for part in plan.partitions:
+            if part.end >= self.sim.now and part.end != float("inf"):
+                # Flight-recorder trigger: dump both endpoints' rings the
+                # moment a partition heals (a no-op while tracing is off,
+                # checked at fire time so enable order does not matter).
+                self.sim.schedule(
+                    part.end - self.sim.now,
+                    lambda p=part: self._on_partition_heal(p),
+                )
         for event in plan.crashes:
             if event.at < self.sim.now:
                 raise TopologyError(
@@ -140,6 +155,14 @@ class Overlay:
 
     def is_down(self, broker_id: object) -> bool:
         return broker_id in self._down
+
+    def _on_partition_heal(self, partition):
+        if self.tracing is not None:
+            self.tracing.flight.dump(
+                "partition-heal-%s-%s" % (partition.a, partition.b),
+                brokers=[partition.a, partition.b],
+                time=self.sim.now,
+            )
 
     def crash_broker(self, broker_id: str, with_state: bool = True):
         """Kill a broker mid-run (requires an installed fault plan).
@@ -164,6 +187,12 @@ class Overlay:
         )
         self._busy_until.pop(broker_id, None)
         self._transport._count("crashes", "broker.crashes")
+        if self.tracing is not None:
+            # The black box: everything the overlay was doing in the
+            # moments before the crash, with the victim's ring intact.
+            self.tracing.flight.dump(
+                "crash-%s" % broker_id, time=self.sim.now
+            )
 
     def recover_broker(self, broker_id: str):
         """Bring a crashed broker back: replay its persisted snapshot
@@ -192,11 +221,13 @@ class Overlay:
         self.brokers[broker_id] = replacement
         self._down.discard(broker_id)
         self._transport.reset_links_of(broker_id, resend_outbox=with_state)
-        for message, from_hop, hops in self._held_while_down.pop(broker_id, ()):
+        for message, from_hop, hops, parent in self._held_while_down.pop(
+            broker_id, ()
+        ):
             self.sim.schedule(
                 0.0,
-                lambda m=message, f=from_hop, h=hops:
-                    self._broker_receive(broker_id, m, f, h),
+                lambda m=message, f=from_hop, h=hops, p=parent:
+                    self._broker_receive(broker_id, m, f, h, p),
             )
         if with_state:
             for entry in replacement.srt.entries():
@@ -323,18 +354,36 @@ class Overlay:
         return self.sim.now
 
     def submit(self, client_id: str, message: Message):
-        """A client hands a message to its edge broker (hop 0)."""
+        """A client hands a message to its edge broker (hop 0).
+
+        With tracing enabled the message is stamped with a fresh
+        :class:`~repro.obs.tracing.TraceContext` (unless one already
+        rides on it — a resubmission stays in its original trace) and a
+        ``submit`` root span covering the client-edge link is recorded.
+        """
         broker_id = self._client_home.get(client_id)
         if broker_id is None:
             raise RoutingError("unknown client %r" % client_id)
+        tracing = self.tracing
+        root: Optional[Span] = None
+        if tracing is not None and trace_of(message) is None:
+            context = tracing.mint(message)
+        else:
+            context = None
+        # the auditor observes *after* stamping so violation reports can
+        # name the offending trace ids.
         for auditor in self._auditors:
             auditor.observe_submit(client_id, message)
         latency = self.latency_model.latency(
             client_id, broker_id, _size_of(message)
         )
+        if context is not None:
+            root = tracing.record_root(
+                context, client_id, message, self.sim.now, latency
+            )
         self.sim.schedule(
             latency,
-            lambda: self._broker_receive(broker_id, message, client_id, 1),
+            lambda: self._broker_receive(broker_id, message, client_id, 1, root),
         )
 
     def submit_batch(self, client_id: str, messages: List[Message]):
@@ -354,6 +403,12 @@ class Overlay:
         broker_id = self._client_home.get(client_id)
         if broker_id is None:
             raise RoutingError("unknown client %r" % client_id)
+        tracing = self.tracing
+        contexts = {}
+        if tracing is not None:
+            for message in messages:
+                if trace_of(message) is None:
+                    contexts[message.msg_id] = tracing.mint(message)
         for auditor in self._auditors:
             for message in messages:
                 auditor.observe_submit(client_id, message)
@@ -361,10 +416,21 @@ class Overlay:
             self.latency_model.latency(client_id, broker_id, _size_of(m))
             for m in messages
         )
+        parents: Optional[Dict[int, Span]] = None
+        if contexts:
+            # every root covers the whole batch window: the batch (and
+            # with it each message) arrives when its largest frame would.
+            parents = {}
+            for message in messages:
+                context = contexts.get(message.msg_id)
+                if context is not None:
+                    parents[message.msg_id] = tracing.record_root(
+                        context, client_id, message, self.sim.now, latency
+                    )
         self.sim.schedule(
             latency,
             lambda: self._broker_receive_batch(
-                broker_id, messages, client_id, 1
+                broker_id, messages, client_id, 1, parents
             ),
         )
 
@@ -375,6 +441,21 @@ class Overlay:
         if getattr(tracer, "registry", None) is None:
             tracer.registry = self.metrics
         return tracer
+
+    def enable_tracing(
+        self, recorder: Optional[TraceRecorder] = None, **kwargs
+    ) -> TraceRecorder:
+        """Turn on causal tracing: every subsequently submitted message
+        is stamped with a trace context and every hop emits spans into
+        *recorder* (a fresh :class:`~repro.obs.tracing.TraceRecorder`
+        bound to this overlay's registry by default; extra keyword
+        arguments — ``flight_dir``, ``flight_capacity``, ``max_spans`` —
+        configure it).  Enable before submitting traffic or early
+        deliveries will have no trace trees."""
+        if recorder is None:
+            recorder = TraceRecorder(registry=self.metrics, **kwargs)
+        self.tracing = recorder
+        return recorder
 
     def attach_auditor(self, auditor):
         """Register a :class:`repro.audit.AuditOracle`; it observes
@@ -398,10 +479,11 @@ class Overlay:
         return outbound
 
     def transport_deliver(
-        self, broker_id: str, message: Message, from_hop: object, hops: int
+        self, broker_id: str, message: Message, from_hop: object, hops: int,
+        parent_span: Optional[Span] = None,
     ):
         """In-order, deduplicated delivery from the reliable transport."""
-        self._broker_receive(broker_id, message, from_hop, hops)
+        self._broker_receive(broker_id, message, from_hop, hops, parent_span)
 
     def link_latency(
         self, src: object, dst: object, message: Optional[Message]
@@ -411,14 +493,15 @@ class Overlay:
         return self.latency_model.latency(src, dst, size)
 
     def _broker_receive(
-        self, broker_id: str, message: Message, from_hop: str, hops: int
+        self, broker_id: str, message: Message, from_hop: str, hops: int,
+        parent_span: Optional[Span] = None,
     ):
         if self._down and broker_id in self._down:
             # A directly-scheduled message (client edge) reached a dead
             # broker: hold it and replay on recovery, as a reconnecting
             # client library would.
             self._held_while_down.setdefault(broker_id, []).append(
-                (message, from_hop, hops)
+                (message, from_hop, hops, parent_span)
             )
             self._transport._count("held_while_down", "network.faults.held")
             return
@@ -426,19 +509,56 @@ class Overlay:
         for tracer in self._tracers:
             tracer.record(self.sim.now, broker_id, message, from_hop)
         broker = self.brokers[broker_id]
+        tracing = self.tracing
+        context = trace_of(message) if tracing is not None else None
+        hop_span: Optional[Span] = None
+        scope = None
+        now = self.sim.now
+        if context is not None:
+            hop_span = tracing.span(
+                context.trace_id,
+                _parent_id(parent_span, context),
+                "hop", broker_id, now, now,
+                kind=message.kind, from_hop=str(from_hop),
+            )
+            scope = tracing.push_hop(hop_span, self.processing_scale)
         started = time.perf_counter()
-        outbound = broker.handle(message, from_hop)
+        try:
+            outbound = broker.handle(message, from_hop)
+        finally:
+            if scope is not None:
+                tracing.pop_hop(scope)
         elapsed = time.perf_counter() - started
         metrics = self.metrics
         if metrics.enabled:
             metrics.histogram("network.dispatch").record(elapsed)
             metrics.counter("network.dispatch.outbound").inc(len(outbound))
-        processing = self._charge_processing(broker_id, elapsed)
+        processing, waited = self._charge_processing(broker_id, elapsed)
+        if hop_span is not None:
+            hop_span.end = now + processing
+            hop_span.attrs["fanout"] = len(outbound)
+            if waited > 0.0:
+                tracing.span(
+                    context.trace_id, hop_span.span_id, "queue.wait",
+                    broker_id, now, now + waited,
+                )
+            # Broker-originated control traffic (merger subscriptions,
+            # covering retractions, replays) joins the trace that caused
+            # it; messages already carrying a context keep theirs.
+            for _destination, out_msg in outbound:
+                if trace_of(out_msg) is None:
+                    stamp(
+                        out_msg,
+                        TraceContext(context.trace_id, hop_span.span_id),
+                    )
         for destination, out_msg in outbound:
-            self._forward(broker_id, destination, out_msg, processing, hops)
+            self._forward(
+                broker_id, destination, out_msg, processing, hops, hop_span
+            )
 
     def _broker_receive_batch(
-        self, broker_id: str, messages: List[Message], from_hop: str, hops: int
+        self, broker_id: str, messages: List[Message], from_hop: str, hops: int,
+        parents: Optional[Dict[int, Span]] = None,
     ):
         """Batch counterpart of :meth:`_broker_receive` (publications
         only).  Outbound messages are regrouped per destination:
@@ -446,11 +566,20 @@ class Overlay:
         reliable transport is interposed — the transport's
         per-message ordering/dedup would otherwise be bypassed), while
         client deliveries and transport sends degrade to per-message
-        forwarding."""
+        forwarding.
+
+        ``parents`` maps inbound ``msg_id`` to the span that caused the
+        message.  Per-message hop spans cover the whole batch window
+        (the batch is matched as one unit); no hop scope is pushed —
+        broker sub-spans cannot be attributed to one message of a batch.
+        """
         if self._down and broker_id in self._down:
             held = self._held_while_down.setdefault(broker_id, [])
             for message in messages:
-                held.append((message, from_hop, hops))
+                held.append((
+                    message, from_hop, hops,
+                    parents.get(message.msg_id) if parents else None,
+                ))
                 self._transport._count("held_while_down", "network.faults.held")
             return
         for message in messages:
@@ -458,6 +587,8 @@ class Overlay:
             for tracer in self._tracers:
                 tracer.record(self.sim.now, broker_id, message, from_hop)
         broker = self.brokers[broker_id]
+        tracing = self.tracing
+        now = self.sim.now
         started = time.perf_counter()
         outbound = broker.handle_publish_batch(messages, from_hop)
         elapsed = time.perf_counter() - started
@@ -465,7 +596,19 @@ class Overlay:
         if metrics.enabled:
             metrics.histogram("network.dispatch").record(elapsed)
             metrics.counter("network.dispatch.outbound").inc(len(outbound))
-        processing = self._charge_processing(broker_id, elapsed)
+        processing, _waited = self._charge_processing(broker_id, elapsed)
+        hop_spans: Dict[int, Span] = {}
+        if tracing is not None:
+            for message in messages:
+                context = trace_of(message)
+                if context is None:
+                    continue
+                parent = parents.get(message.msg_id) if parents else None
+                hop_spans[message.msg_id] = tracing.span(
+                    context.trace_id, _parent_id(parent, context),
+                    "hop", broker_id, now, now + processing,
+                    kind=message.kind, from_hop=str(from_hop), batched=True,
+                )
         grouped: Dict[object, List[Message]] = {}
         for destination, out_msg in outbound:
             grouped.setdefault(destination, []).append(out_msg)
@@ -481,22 +624,48 @@ class Overlay:
                     )
                     for m in dest_messages
                 )
+                next_parents: Optional[Dict[int, Span]] = None
+                if tracing is not None:
+                    next_parents = {}
+                    for out_msg in dest_messages:
+                        context = trace_of(out_msg)
+                        if context is None:
+                            continue
+                        hop = hop_spans.get(out_msg.msg_id)
+                        next_parents[out_msg.msg_id] = tracing.span(
+                            context.trace_id, _parent_id(hop, context),
+                            "forward", broker_id,
+                            now + processing, now + latency,
+                            to=str(destination), kind=out_msg.kind,
+                            batched=True,
+                        )
                 self.sim.schedule(
                     latency,
-                    lambda d=destination, ms=dest_messages:
-                        self._broker_receive_batch(d, ms, broker_id, hops + 1),
+                    lambda d=destination, ms=dest_messages, ps=next_parents:
+                        self._broker_receive_batch(
+                            d, ms, broker_id, hops + 1, ps
+                        ),
                 )
             else:
                 for out_msg in dest_messages:
                     self._forward(
-                        broker_id, destination, out_msg, processing, hops
+                        broker_id, destination, out_msg, processing, hops,
+                        hop_spans.get(out_msg.msg_id),
                     )
 
-    def _charge_processing(self, broker_id: str, elapsed: float) -> float:
+    def _charge_processing(
+        self, broker_id: str, elapsed: float
+    ) -> Tuple[float, float]:
         """Turn measured handler wall time into the virtual-clock delay
         charged to this broker's outbound messages (queueing makes the
-        charge include time spent waiting for the broker to go idle)."""
+        charge include time spent waiting for the broker to go idle).
+
+        Returns ``(processing, waited)`` — the total charge and the
+        queue-wait portion of it (0 without queueing), so tracing can
+        emit ``queue.wait`` spans.
+        """
         processing = elapsed * self.processing_scale
+        waited = 0.0
         if self.queueing:
             queued_from = max(
                 self.sim.now, self._busy_until.get(broker_id, 0.0)
@@ -504,11 +673,10 @@ class Overlay:
             finish = queued_from + processing
             self._busy_until[broker_id] = finish
             processing = finish - self.sim.now
+            waited = queued_from - self.sim.now
             if self.metrics.enabled:
-                self.metrics.histogram("network.queue_wait").record(
-                    queued_from - self.sim.now
-                )
-        return processing
+                self.metrics.histogram("network.queue_wait").record(waited)
+        return processing, waited
 
     def _forward(
         self,
@@ -517,31 +685,63 @@ class Overlay:
         message: Message,
         processing: float,
         hops: int,
+        parent_span: Optional[Span] = None,
     ):
+        tracing = self.tracing
+        context = trace_of(message) if tracing is not None else None
+        now = self.sim.now
         if destination in self.brokers:
             if self._transport is not None:
+                fwd = None
+                if context is not None:
+                    # Point span: the link time (and any retransmission
+                    # backoff) belongs to the transport, whose delays
+                    # appear as gaps — never overlaps — in the chain.
+                    fwd = tracing.span(
+                        context.trace_id, _parent_id(parent_span, context),
+                        "forward", src_broker,
+                        now + processing, now + processing,
+                        to=str(destination), kind=message.kind,
+                        transport=True,
+                    )
                 self._transport.send(
                     src_broker, destination, message, hops + 1,
-                    first_delay=processing,
+                    first_delay=processing, parent_span=fwd,
                 )
                 return
-            latency = processing + self.latency_model.latency(
+            latency = self.latency_model.latency(
                 src_broker, destination, _size_of(message)
             )
+            fwd = None
+            if context is not None:
+                fwd = tracing.span(
+                    context.trace_id, _parent_id(parent_span, context),
+                    "forward", src_broker,
+                    now + processing, now + processing + latency,
+                    to=str(destination), kind=message.kind,
+                )
             self.sim.schedule(
-                latency,
+                processing + latency,
                 lambda: self._broker_receive(
-                    destination, message, src_broker, hops + 1
+                    destination, message, src_broker, hops + 1, fwd
                 ),
             )
             return
-        latency = processing + self.latency_model.latency(
+        latency = self.latency_model.latency(
             src_broker, destination, _size_of(message)
         )
         if destination in self.subscribers:
+            fwd = None
+            if context is not None:
+                fwd = tracing.span(
+                    context.trace_id, _parent_id(parent_span, context),
+                    "forward", src_broker,
+                    now + processing, now + processing + latency,
+                    to=str(destination), kind=message.kind,
+                )
             self.sim.schedule(
-                latency,
-                lambda: self._client_receive(destination, message, hops),
+                processing + latency,
+                lambda: self._client_receive(destination, message, hops, fwd),
             )
         else:
             raise RoutingError(
@@ -549,10 +749,31 @@ class Overlay:
                 % (src_broker, destination)
             )
 
-    def _client_receive(self, client_id: str, message: Message, hops: int):
+    def _client_receive(
+        self, client_id: str, message: Message, hops: int,
+        parent_span: Optional[Span] = None,
+    ):
         self.stats.record_client_message()
         client = self.subscribers[client_id]
         fresh = client.receive(message, hops)
+        tracing = self.tracing
+        if tracing is not None:
+            context = trace_of(message)
+            if context is not None:
+                attrs = {
+                    "subscriber": client_id,
+                    "fresh": fresh,
+                    "hops": hops,
+                }
+                publication = getattr(message, "publication", None)
+                if publication is not None:
+                    attrs["doc"] = publication.doc_id
+                    attrs["path_id"] = publication.path_id
+                tracing.span(
+                    context.trace_id, _parent_id(parent_span, context),
+                    "deliver" if fresh else "dropped.duplicate",
+                    client_id, self.sim.now, self.sim.now, **attrs,
+                )
         if fresh and isinstance(message, PublishMsg):
             for auditor in self._auditors:
                 auditor.observe_delivery(client_id, message)
@@ -662,6 +883,17 @@ class Overlay:
             client_id: client.delivered_documents()
             for client_id, client in self.subscribers.items()
         }
+
+
+def _parent_id(parent: Optional[Span], context: TraceContext) -> str:
+    """The parent span id for a new span of *context*'s trace: the
+    causing span when it belongs to the same trace, else the trace's
+    own root (e.g. a stored subscription re-emitted while handling an
+    advertisement parents back to its original submit, not into the
+    advertisement's trace)."""
+    if parent is not None and parent.trace_id == context.trace_id:
+        return parent.span_id
+    return context.span_id
 
 
 def _size_of(message: Message) -> int:

@@ -41,6 +41,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.broker.messages import Message
 from repro.network.faults import FaultPlan
+from repro.obs.tracing import Span, trace_of
 
 
 class Channel:
@@ -64,8 +65,10 @@ class Channel:
         self.dst = dst
         self.epoch = 0
         self.next_seq = 0
-        #: seq -> (message, hops) awaiting cumulative acknowledgement.
-        self.unacked: Dict[int, Tuple[Message, int]] = {}
+        #: seq -> (message, hops, parent span) awaiting cumulative
+        #: acknowledgement; the parent span keeps retransmissions (and
+        #: post-crash resends) in the message's original trace.
+        self.unacked: Dict[int, Tuple[Message, int, Optional[Span]]] = {}
         self.rto_of: Dict[int, float] = {}
         self.attempts: Dict[int, int] = {}
         #: physical transmission counter — the index fed to
@@ -73,9 +76,9 @@ class Channel:
         #: the fault schedule of a link direction is one stream.
         self.tx_index = 0
         self.expected = 0
-        self.buffer: Dict[int, Tuple[Message, int]] = {}
+        self.buffer: Dict[int, Tuple[Message, int, Optional[Span]]] = {}
 
-    def reset(self) -> List[Tuple[Message, int]]:
+    def reset(self) -> List[Tuple[Message, int, Optional[Span]]]:
         """Start a new epoch, returning the unacked frames in sequence
         order (the caller decides whether to resend them)."""
         pending = [self.unacked[seq] for seq in sorted(self.unacked)]
@@ -130,29 +133,34 @@ class ReliableTransport:
 
     def send(
         self, src: object, dst: object, message: Message, hops: int,
-        first_delay: float = 0.0,
+        first_delay: float = 0.0, parent_span: Optional[Span] = None,
     ):
         """Reliably deliver *message* over the src→dst link.
 
         ``hops`` is the hop count the receiver should observe;
         ``first_delay`` models sender-side processing before the first
-        transmission (retransmissions skip it).
+        transmission (retransmissions skip it).  ``parent_span`` is the
+        causing span (the overlay's ``forward``) — every transmission
+        of the frame, retransmissions included, stays under it.
         """
         channel = self.channel(src, dst)
         seq = channel.next_seq
         channel.next_seq += 1
-        channel.unacked[seq] = (message, hops)
+        channel.unacked[seq] = (message, hops, parent_span)
         channel.rto_of[seq] = self.plan.rto
         channel.attempts[seq] = 0
         self._count("sent", "network.transport.sent")
-        self._transmit(channel, seq, message, hops, extra=first_delay)
+        self._transmit(
+            channel, seq, message, hops, extra=first_delay,
+            parent_span=parent_span,
+        )
         self._schedule_retransmit(
             channel, seq, channel.epoch, first_delay + self.plan.rto
         )
 
     def _transmit(
         self, channel: Channel, seq: int, message: Message, hops: int,
-        extra: float = 0.0,
+        extra: float = 0.0, parent_span: Optional[Span] = None,
     ):
         channel.attempts[seq] = channel.attempts.get(seq, 0) + 1
         decision = self.plan.decide(
@@ -178,8 +186,9 @@ class ReliableTransport:
             delay = extra + latency + decision.extra_delay + copy * 1e-9
             self.overlay.sim.schedule(
                 delay,
-                lambda c=channel, e=epoch, s=seq, m=message, h=hops:
-                    self._deliver_data(c, e, s, m, h),
+                lambda c=channel, e=epoch, s=seq, m=message, h=hops,
+                       p=parent_span:
+                    self._deliver_data(c, e, s, m, h, p),
             )
 
     def _schedule_retransmit(
@@ -205,15 +214,31 @@ class ReliableTransport:
         )
         channel.rto_of[seq] = rto
         self._count("retransmits", "broker.retransmits")
-        message, hops = channel.unacked[seq]
-        self._transmit(channel, seq, message, hops)
+        message, hops, parent_span = channel.unacked[seq]
+        tracing = self.overlay.tracing
+        if tracing is not None:
+            context = trace_of(message)
+            if context is not None:
+                parent_id = (
+                    parent_span.span_id
+                    if parent_span is not None
+                    and parent_span.trace_id == context.trace_id
+                    else context.span_id
+                )
+                tracing.span(
+                    context.trace_id, parent_id, "retransmit", channel.src,
+                    self.overlay.sim.now, self.overlay.sim.now,
+                    to=str(channel.dst), seq=seq,
+                    attempt=channel.attempts.get(seq, 0),
+                )
+        self._transmit(channel, seq, message, hops, parent_span=parent_span)
         self._schedule_retransmit(channel, seq, channel.epoch, rto)
 
     # -- receiving ---------------------------------------------------------
 
     def _deliver_data(
         self, channel: Channel, epoch: int, seq: int, message: Message,
-        hops: int,
+        hops: int, parent_span: Optional[Span] = None,
     ):
         if epoch != channel.epoch:
             self._count("stale", "network.transport.stale")
@@ -223,14 +248,34 @@ class ReliableTransport:
             return
         if seq < channel.expected or seq in channel.buffer:
             self._count("dup_suppressed", "broker.dup_suppressed")
+            tracing = self.overlay.tracing
+            if tracing is not None:
+                context = trace_of(message)
+                if context is not None:
+                    # The duplicate joins the original trace — it must
+                    # never look like a fresh operation.
+                    parent_id = (
+                        parent_span.span_id
+                        if parent_span is not None
+                        and parent_span.trace_id == context.trace_id
+                        else context.span_id
+                    )
+                    tracing.span(
+                        context.trace_id, parent_id, "dropped.duplicate",
+                        channel.dst, self.overlay.sim.now,
+                        self.overlay.sim.now,
+                        seq=seq, src=str(channel.src),
+                    )
             self._send_ack(channel)
             return
-        channel.buffer[seq] = (message, hops)
+        channel.buffer[seq] = (message, hops, parent_span)
         while channel.expected in channel.buffer:
-            ready, ready_hops = channel.buffer.pop(channel.expected)
+            ready, ready_hops, ready_parent = channel.buffer.pop(
+                channel.expected
+            )
             channel.expected += 1
             self.overlay.transport_deliver(
-                channel.dst, ready, channel.src, ready_hops
+                channel.dst, ready, channel.src, ready_hops, ready_parent
             )
         self._send_ack(channel)
 
@@ -294,8 +339,11 @@ class ReliableTransport:
                     len(pending),
                 )
                 continue
-            for message, hops in pending:
-                self.send(src, dst, message, hops)
+            for message, hops, parent_span in pending:
+                # Post-recovery redelivery keeps the original causal
+                # context: the message's trace stamp and parent span
+                # both survive the channel epoch reset.
+                self.send(src, dst, message, hops, parent_span=parent_span)
 
     def in_flight(self) -> int:
         """Unacknowledged frames across all channels (debug/tests)."""

@@ -55,6 +55,7 @@ from repro.network.wire import (
     encode_ack_frame,
     encode_data_frame,
 )
+from repro.obs.tracing import mint_context, stamp, trace_of
 
 
 class _Connection:
@@ -195,9 +196,11 @@ class _Connection:
             return
         if frame.kind == "data":
             # Ack first (even duplicates: their first ack may be the
-            # one that got lost), deliver once.
+            # one that got lost), deliver once.  The ack echoes the data
+            # frame's trace id so both directions of a reliable exchange
+            # are attributable to the same causal trace.
             self.stats["acks"] += 1
-            self._transmit(encode_ack_frame(frame.seq))
+            self._transmit(encode_ack_frame(frame.seq, trace_id=frame.trace_id))
             with self._state_lock:
                 if frame.seq in self._delivered_seqs:
                     self.stats["dup_suppressed"] += 1
@@ -413,11 +416,29 @@ class LocalDeployment:
     def link(self, a: str, b: str):
         self._links.add((a, b))
 
-    def start(self):
+    def start(self, handshake_timeout: float = 5.0):
         for node in self.nodes.values():
             node.start()
         for a, b in sorted(self._links):
             self.nodes[a].connect_to(self.nodes[b])
+        # connect_to wires the dialing side synchronously, but the
+        # passive side registers the connection (and the broker
+        # neighbour) in its handshake thread.  A client attached right
+        # after start() could otherwise submit to a broker that does not
+        # know its neighbours yet, and the message would never flood.
+        deadline = time.time() + handshake_timeout
+        while time.time() < deadline:
+            if all(
+                a in self.nodes[b]._connections
+                and a in self.nodes[b].broker.neighbors
+                for a, b in self._links
+            ):
+                return
+            time.sleep(0.005)
+        raise RoutingError(
+            "deployment links did not finish handshaking within %.1fs"
+            % handshake_timeout
+        )
 
     def stop(self):
         for node in self.nodes.values():
@@ -479,6 +500,11 @@ class DeployedClient:
             self.received.append(message)
 
     def submit(self, message: Message):
+        # Client-originated operations mint their causal trace context
+        # here; it rides every data frame the message travels on
+        # (retransmits included — they resend the original payload).
+        if trace_of(message) is None:
+            stamp(message, mint_context())
         self._node.submit_local(self.client_id, message)
 
     def delivered_documents(self) -> Set[str]:

@@ -79,6 +79,9 @@ class Tracer:
         )
         if self._predicate is not None and not self._predicate(record):
             return
+        # Limit semantics: every filter (kind, broker, predicate) has
+        # already run above, so only records that *would* have been kept
+        # count as drops — records the filters reject never reach here.
         registry = self.registry
         if self._limit and len(self.records) >= self._limit:
             self.dropped += 1
@@ -88,6 +91,13 @@ class Tracer:
         self.records.append(record)
         if registry is not None and registry.enabled:
             registry.counter("network.trace.records").inc()
+
+    def clear(self):
+        """Drop the collected records (and the drop count) so a long
+        simulation can reuse one tracer without unbounded growth; the
+        configured filters and limit stay in place."""
+        self.records = []
+        self.dropped = 0
 
     # -- analysis ---------------------------------------------------------
 
@@ -114,17 +124,38 @@ class Tracer:
         return len(self.records)
 
 
-def _describe(message) -> str:
+def describe_message(message) -> str:
+    """A stable, non-empty one-line description of any wire-level
+    object: the five protocol messages, data/ack/raw frames, and (as a
+    last resort) anything with a ``kind``.  The wire tests round-trip
+    these descriptions through encode/decode."""
+    frame_kind = getattr(message, "kind", None)
+    if frame_kind == "ack" and getattr(message, "message", "x") is None:
+        trace_id = getattr(message, "trace_id", None)
+        base = "ACK seq=%d" % message.seq
+        return base + (" trace=%s" % trace_id if trace_id else "")
+    if frame_kind == "data" and getattr(message, "seq", None) is not None:
+        return "DATA seq=%d %s" % (
+            message.seq, describe_message(message.message)
+        )
+    if frame_kind == "raw" and getattr(message, "message", None) is not None:
+        return "RAW %s" % describe_message(message.message)
     expr = getattr(message, "expr", None)
     if expr is not None:
-        return str(expr)
+        verb = "UNSUB" if frame_kind == "UnsubscribeMsg" else "SUB"
+        return "%s %s" % (verb, expr)
     advert = getattr(message, "advert", None)
     if advert is not None:
-        return "%s %s" % (getattr(message, "adv_id", ""), advert)
+        return "ADV %s %s" % (getattr(message, "adv_id", ""), advert)
     publication = getattr(message, "publication", None)
     if publication is not None:
-        return str(publication)
+        return "PUB %s" % (publication,)
     adv_id = getattr(message, "adv_id", None)
     if adv_id is not None:
-        return str(adv_id)
-    return ""
+        return "UNADV %s" % adv_id
+    return str(frame_kind) if frame_kind else type(message).__name__
+
+
+#: Backwards-compatible alias (the old private helper returned ``""``
+#: for frames and unknown kinds; ``describe_message`` never does).
+_describe = describe_message

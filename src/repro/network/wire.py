@@ -41,6 +41,7 @@ from repro.broker.messages import (
     UnsubscribeMsg,
 )
 from repro.errors import ReproError
+from repro.obs.tracing import TraceContext, stamp
 from repro.xmldoc.document import Publication
 from repro.xpath.parser import parse_xpath
 
@@ -120,6 +121,9 @@ def message_to_obj(message: Message) -> dict:
             ]
     else:
         raise WireError("cannot encode message kind %r" % type(message).__name__)
+    trace = getattr(message, "trace", None)
+    if trace is not None:
+        obj["trace"] = {"id": trace.trace_id, "span": trace.span_id}
     return obj
 
 
@@ -150,7 +154,26 @@ def decode(line: Union[bytes, str]) -> Message:
 
 
 def message_from_obj(obj: dict) -> Message:
-    """Rebuild a protocol message from its object form."""
+    """Rebuild a protocol message from its object form (the trace
+    context, when present, is re-stamped so retransmissions and
+    redeliveries stay in their original trace)."""
+    return _apply_trace(obj, _decode_message(obj))
+
+
+def _apply_trace(obj: dict, message: Message) -> Message:
+    trace = obj.get("trace")
+    if trace is None:
+        return message
+    if (
+        not isinstance(trace, dict)
+        or not isinstance(trace.get("id"), str)
+        or not isinstance(trace.get("span"), str)
+    ):
+        raise WireError("malformed trace context %r" % (trace,))
+    return stamp(message, TraceContext(trace["id"], trace["span"]))
+
+
+def _decode_message(obj: dict) -> Message:
     kind = obj.get("kind")
     try:
         if kind == "advertise":
@@ -202,12 +225,16 @@ class Frame:
 
     ``kind`` is ``"data"`` (sequence-numbered message), ``"ack"``
     (cumulative acknowledgement, ``message`` is None) or ``"raw"``
-    (an unframed legacy message, ``seq`` is None).
+    (an unframed legacy message, ``seq`` is None).  ``trace_id`` is the
+    causal trace the frame belongs to: for data/raw frames it is the
+    carried message's trace, for ack frames the trace of the data frame
+    being acknowledged (when the peer supplied one).
     """
 
     kind: str
     seq: Optional[int]
     message: Optional[Message]
+    trace_id: Optional[str] = None
 
 
 def encode_data_frame(seq: int, message: Message) -> bytes:
@@ -217,11 +244,15 @@ def encode_data_frame(seq: int, message: Message) -> bytes:
     return _as_line({"kind": "data", "seq": seq, "msg": message_to_obj(message)})
 
 
-def encode_ack_frame(seq: int) -> bytes:
+def encode_ack_frame(seq: int, trace_id: Optional[str] = None) -> bytes:
     """An acknowledgement for the data frame numbered *seq* (the
     simulator transport acknowledges cumulatively, the TCP deployment
-    per frame; the wire form is the same)."""
-    return _as_line({"kind": "ack", "seq": seq})
+    per frame; the wire form is the same).  *trace_id* echoes the data
+    frame's trace so acks join the same causal trace on the wire."""
+    obj = {"kind": "ack", "seq": seq}
+    if trace_id is not None:
+        obj["trace"] = trace_id
+    return _as_line(obj)
 
 
 def decode_frame(line: Union[bytes, str]) -> Frame:
@@ -233,9 +264,24 @@ def decode_frame(line: Union[bytes, str]) -> Frame:
         if not isinstance(seq, int) or seq < 0:
             raise WireError("frame %r carries no valid seq" % (kind,))
         if kind == "ack":
-            return Frame(kind="ack", seq=seq, message=None)
+            trace_id = obj.get("trace")
+            if trace_id is not None and not isinstance(trace_id, str):
+                raise WireError("malformed ack trace %r" % (trace_id,))
+            return Frame(kind="ack", seq=seq, message=None, trace_id=trace_id)
         payload = obj.get("msg")
         if not isinstance(payload, dict):
             raise WireError("data frame %d carries no message" % seq)
-        return Frame(kind="data", seq=seq, message=message_from_obj(payload))
-    return Frame(kind="raw", seq=None, message=message_from_obj(obj))
+        message = message_from_obj(payload)
+        return Frame(
+            kind="data", seq=seq, message=message,
+            trace_id=_trace_id_of(message),
+        )
+    message = message_from_obj(obj)
+    return Frame(
+        kind="raw", seq=None, message=message, trace_id=_trace_id_of(message)
+    )
+
+
+def _trace_id_of(message: Message) -> Optional[str]:
+    trace = getattr(message, "trace", None)
+    return trace.trace_id if trace is not None else None

@@ -33,7 +33,14 @@ from __future__ import annotations
 import functools
 from time import perf_counter
 
-from repro.obs.export import snapshot_document, to_line_protocol, write_json
+from repro.obs.export import (
+    snapshot_document,
+    to_chrome_trace,
+    to_line_protocol,
+    to_prometheus,
+    write_json,
+)
+from repro.obs.flight import FlightRecorder, FlightRecorderSet
 from repro.obs.registry import (
     NOOP_TIMER,
     Counter,
@@ -42,24 +49,50 @@ from repro.obs.registry import (
     MetricsRegistry,
     register_collector,
 )
+from repro.obs.tracing import (
+    Span,
+    TraceContext,
+    TraceRecorder,
+    TraceTree,
+    assemble_traces,
+    current_scope,
+    mint_context,
+    stamp,
+    trace_of,
+    verify_traces,
+)
 
 __all__ = [
     "Counter",
+    "FlightRecorder",
+    "FlightRecorderSet",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NOOP_TIMER",
+    "Span",
+    "TraceContext",
+    "TraceRecorder",
+    "TraceTree",
+    "assemble_traces",
+    "current_scope",
     "disable_metrics",
     "enable_metrics",
     "get_registry",
     "inc",
+    "mint_context",
     "observe",
     "register_collector",
     "set_registry",
     "snapshot_document",
+    "stamp",
     "timed",
     "timer",
+    "to_chrome_trace",
     "to_line_protocol",
+    "to_prometheus",
+    "trace_of",
+    "verify_traces",
     "write_json",
 ]
 

@@ -1,15 +1,23 @@
-"""Snapshot serialisation: JSON documents and a line protocol.
+"""Snapshot serialisation: JSON documents, line protocol, trace exports.
 
 The JSON form is what ``repro stats``, ``--metrics-out`` and the
 benchmark suite's ``BENCH_obs.json`` artifact emit; the line protocol
 (one ``name,type=<kind> field=value ...`` record per metric, in the
 spirit of InfluxDB's wire format) suits log scraping and ad-hoc
 ``grep``-based dashboards.
+
+Two further exporters serve the tracing layer (``repro trace
+--export``): :func:`to_chrome_trace` renders spans as Chrome
+trace-event JSON loadable in Perfetto / ``chrome://tracing``, and
+:func:`to_prometheus` renders a registry in the Prometheus text
+exposition format (histograms become summaries with the p50/p95/p99
+quantiles the registry already computes).
 """
 
 from __future__ import annotations
 
 import json
+import re
 from typing import Dict, List, Optional
 
 from repro.obs.registry import MetricsRegistry
@@ -67,4 +75,106 @@ def _fmt(value) -> str:
         return "1" if value else "0"
     if isinstance(value, int):
         return "%di" % value
+    return repr(float(value))
+
+
+# -- trace exports ---------------------------------------------------------
+
+def to_chrome_trace(spans) -> Dict[str, object]:
+    """Chrome trace-event JSON for a span collection.
+
+    Each trace becomes a process (pid), each (trace, node) pair a thread
+    (tid), and each span a complete ("X") event; virtual seconds map to
+    event microseconds, so one simulated second reads as one second in
+    the Perfetto timeline.  Load the JSON at https://ui.perfetto.dev or
+    ``chrome://tracing``.
+    """
+    events: List[Dict[str, object]] = []
+    pids: Dict[str, int] = {}
+    tids: Dict[tuple, int] = {}
+    for span in spans:
+        pid = pids.get(span.trace_id)
+        if pid is None:
+            pid = pids[span.trace_id] = len(pids) + 1
+            events.append({
+                "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+                "args": {"name": "trace %s" % span.trace_id},
+            })
+        thread_key = (span.trace_id, str(span.broker_id))
+        tid = tids.get(thread_key)
+        if tid is None:
+            tid = tids[thread_key] = (
+                sum(1 for key in tids if key[0] == span.trace_id) + 1
+            )
+            events.append({
+                "ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+                "args": {"name": str(span.broker_id)},
+            })
+        args = dict(span.attrs)
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        events.append({
+            "ph": "X",
+            "name": span.name,
+            "cat": "repro",
+            "pid": pid,
+            "tid": tid,
+            "ts": span.start * 1e6,
+            "dur": span.duration * 1e6,
+            "args": args,
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """The Prometheus text exposition format for a registry snapshot.
+
+    Counters export as ``counter`` (with the conventional ``_total``
+    suffix), gauges as ``gauge``, histograms as ``summary`` carrying the
+    p50/p95/p99 quantiles plus ``_sum``/``_count``.
+    """
+    lines: List[str] = []
+    for kind, name, instrument in registry.iter_metrics():
+        metric = _prom_name(name)
+        if kind == "counter":
+            lines.append("# TYPE %s_total counter" % metric)
+            lines.append(
+                "%s_total %s" % (metric, _prom_value(instrument.snapshot()))
+            )
+        elif kind == "gauge":
+            lines.append("# TYPE %s gauge" % metric)
+            lines.append(
+                "%s %s" % (metric, _prom_value(instrument.snapshot()))
+            )
+        else:
+            stats = instrument.snapshot()
+            lines.append("# TYPE %s summary" % metric)
+            for quantile, key in (
+                ("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99"),
+            ):
+                value = stats.get(key)
+                if value is not None:
+                    lines.append(
+                        '%s{quantile="%s"} %s'
+                        % (metric, quantile, _prom_value(value))
+                    )
+            lines.append(
+                "%s_sum %s" % (metric, _prom_value(stats.get("sum") or 0))
+            )
+            lines.append(
+                "%s_count %s" % (metric, _prom_value(stats.get("count") or 0))
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _prom_name(name: str) -> str:
+    return re.sub(r"[^a-zA-Z0-9_:]", "_", "repro_" + name)
+
+
+def _prom_value(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
     return repr(float(value))

@@ -1,0 +1,129 @@
+"""Per-broker flight recorder: bounded span rings with JSON dumps.
+
+A :class:`FlightRecorder` keeps the last *N* spans a broker emitted —
+the black box a crashed process would leave behind.  The overlay feeds
+every span into its broker's ring via :class:`FlightRecorderSet`, and
+the set is dumped to JSON automatically when
+
+* a broker crashes (:meth:`Overlay.crash_broker`),
+* the audit oracle reports a violation (:meth:`AuditOracle.check`),
+* a timed fault partition heals, or
+* on demand (``repro trace --flight-dump DIR``).
+
+Dumps are plain JSON documents; with an ``out_dir`` configured each
+dump is also written to ``flight-<seq>-<reason>.json`` there, which is
+what the CI ``tracing`` job uploads as an artifact on failure.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from collections import deque
+from typing import Dict, List, Optional
+
+
+class FlightRecorder:
+    """The last ``capacity`` spans of one broker (or client node)."""
+
+    def __init__(self, broker_id: object, capacity: int = 256):
+        self.broker_id = broker_id
+        self.capacity = capacity
+        self._ring = deque(maxlen=capacity)
+
+    def record(self, span):
+        self._ring.append(span)
+
+    def spans(self) -> List[object]:
+        """Ring contents, oldest first."""
+        return list(self._ring)
+
+    def __len__(self):
+        return len(self._ring)
+
+    def __repr__(self):
+        return "FlightRecorder(%r, %d/%d)" % (
+            self.broker_id, len(self._ring), self.capacity
+        )
+
+
+class FlightRecorderSet:
+    """One ring per node, plus the dump machinery.
+
+    Args:
+        capacity: ring size per node.
+        out_dir: when set, every dump is also written there as
+            ``flight-<seq>-<reason>.json`` (the directory is created on
+            first use).
+    """
+
+    #: in-memory dumps kept for inspection; later dumps are still
+    #: written to ``out_dir`` but not retained in memory.
+    MAX_DUMPS = 32
+
+    def __init__(self, capacity: int = 256, out_dir: Optional[str] = None):
+        self.capacity = capacity
+        self.out_dir = out_dir
+        self.recorders: Dict[object, FlightRecorder] = {}
+        self.dumps: List[dict] = []
+        self._dump_seq = 0
+
+    def recorder(self, broker_id: object) -> FlightRecorder:
+        recorder = self.recorders.get(broker_id)
+        if recorder is None:
+            recorder = self.recorders[broker_id] = FlightRecorder(
+                broker_id, self.capacity
+            )
+        return recorder
+
+    def record(self, span):
+        if span.broker_id is not None:
+            self.recorder(span.broker_id).record(span)
+
+    def dump(
+        self,
+        reason: str,
+        brokers=None,
+        time: Optional[float] = None,
+        out_dir: Optional[str] = None,
+    ) -> dict:
+        """Snapshot the rings (all of them, or just *brokers*) into one
+        JSON-ready document; returns it with its ``path`` key set when
+        it was also written to disk."""
+        ids = sorted(self.recorders, key=str) if brokers is None else list(brokers)
+        document = {
+            "reason": reason,
+            "time": time,
+            "sequence": self._dump_seq,
+            "brokers": {
+                str(broker_id): [
+                    span.to_dict()
+                    for span in (
+                        self.recorders[broker_id].spans()
+                        if broker_id in self.recorders
+                        else ()
+                    )
+                ]
+                for broker_id in ids
+            },
+        }
+        self._dump_seq += 1
+        directory = out_dir if out_dir is not None else self.out_dir
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+            path = os.path.join(
+                directory,
+                "flight-%03d-%s.json" % (document["sequence"], _slug(reason)),
+            )
+            with open(path, "w") as handle:
+                json.dump(document, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            document["path"] = path
+        if len(self.dumps) < self.MAX_DUMPS:
+            self.dumps.append(document)
+        return document
+
+
+def _slug(text: str) -> str:
+    return re.sub(r"[^A-Za-z0-9._-]+", "-", text).strip("-") or "dump"

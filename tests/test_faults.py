@@ -204,10 +204,10 @@ class TestReliableTransport:
         arrivals = []
         original = overlay.transport_deliver
 
-        def spy(broker_id, message, from_hop, hops):
+        def spy(broker_id, message, from_hop, hops, parent_span=None):
             if isinstance(message, SubscribeMsg):
                 arrivals.append((broker_id, str(message.expr)))
-            return original(broker_id, message, from_hop, hops)
+            return original(broker_id, message, from_hop, hops, parent_span)
 
         overlay.transport_deliver = spy
         sub = overlay.attach_subscriber("sub", "b2")

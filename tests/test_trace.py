@@ -75,6 +75,27 @@ class TestTracer:
         grouped = tracer.by_broker()
         assert sum(len(v) for v in grouped.values()) == len(tracer)
 
+    def test_limit_drops_are_counted_post_filter(self):
+        # records the kind filter rejects never count as drops: with the
+        # same workload, kept + dropped must equal the *filtered* total
+        unlimited = Tracer(kinds=["PublishMsg"])
+        build_traced_overlay(unlimited)
+        limited = Tracer(kinds=["PublishMsg"], limit=3)
+        build_traced_overlay(limited)
+        assert len(limited) == 3
+        assert limited.dropped == len(unlimited) - 3
+
+    def test_clear_resets_records_but_keeps_filters(self):
+        tracer = Tracer(kinds=["PublishMsg"], limit=3)
+        build_traced_overlay(tracer)
+        assert len(tracer) == 3 and tracer.dropped > 0
+        tracer.clear()
+        assert len(tracer) == 0 and tracer.dropped == 0
+        assert "dropped" not in tracer.format()
+        build_traced_overlay(tracer)  # filters and limit still apply
+        assert len(tracer) == 3
+        assert set(tracer.kinds_seen()) == {"PublishMsg"}
+
 
 class TestAsciiChart:
     def make_result(self):

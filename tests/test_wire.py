@@ -11,7 +11,16 @@ from repro.broker.messages import (
     UnadvertiseMsg,
     UnsubscribeMsg,
 )
-from repro.network.wire import WireError, advert_from_obj, decode, encode
+from repro.network.trace import describe_message
+from repro.network.wire import (
+    WireError,
+    advert_from_obj,
+    decode,
+    decode_frame,
+    encode,
+    encode_ack_frame,
+    encode_data_frame,
+)
 from repro.xmldoc import Publication
 from repro.xpath import parse_xpath
 
@@ -97,6 +106,110 @@ class TestErrors:
             advert_from_obj([])
         with pytest.raises(WireError):
             advert_from_obj([{"lit": [1, 2]}])
+
+
+def _sample_messages():
+    return [
+        SubscribeMsg(expr=parse_xpath("/a/*//b"), subscriber_id="s1"),
+        UnsubscribeMsg(expr=parse_xpath("d/a"), subscriber_id="s2"),
+        AdvertiseMsg(
+            adv_id="a1",
+            advert=Advertisement.from_tests(("x", "y")),
+            publisher_id="p",
+        ),
+        UnadvertiseMsg(adv_id="gone"),
+        PublishMsg(
+            publication=Publication(doc_id="d9", path_id=3, path=("a", "b")),
+            publisher_id="p",
+        ),
+    ]
+
+
+class TestTraceContext:
+    def test_stamped_message_round_trips_its_context(self):
+        from repro.obs.tracing import TraceContext, stamp, trace_of
+
+        for msg in _sample_messages():
+            stamp(msg, TraceContext("t42", "s7"))
+            decoded = decode(encode(msg))
+            assert trace_of(decoded) == TraceContext("t42", "s7")
+
+    def test_unstamped_message_stays_unstamped(self):
+        from repro.obs.tracing import trace_of
+
+        decoded = decode(encode(UnadvertiseMsg(adv_id="x")))
+        assert trace_of(decoded) is None
+        assert b"trace" not in encode(UnadvertiseMsg(adv_id="y"))
+
+    def test_data_frame_carries_the_message_trace(self):
+        from repro.obs.tracing import TraceContext, stamp, trace_of
+
+        msg = stamp(
+            SubscribeMsg(expr=parse_xpath("/a"), subscriber_id="s"),
+            TraceContext("t9", "s4"),
+        )
+        frame = decode_frame(encode_data_frame(5, msg))
+        assert frame.kind == "data" and frame.seq == 5
+        assert frame.trace_id == "t9"
+        assert trace_of(frame.message) == TraceContext("t9", "s4")
+
+    def test_ack_frame_echoes_the_trace_id(self):
+        frame = decode_frame(encode_ack_frame(3, trace_id="t9"))
+        assert frame.kind == "ack" and frame.seq == 3
+        assert frame.trace_id == "t9"
+        bare = decode_frame(encode_ack_frame(4))
+        assert bare.trace_id is None
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            b'{"kind":"unadvertise","adv_id":"x","trace":{"id":1,"span":"s"}}',
+            b'{"kind":"unadvertise","adv_id":"x","trace":{"id":"t"}}',
+            b'{"kind":"unadvertise","adv_id":"x","trace":"t1"}',
+        ],
+    )
+    def test_malformed_trace_context_raises(self, line):
+        with pytest.raises(WireError):
+            decode(line)
+
+    def test_malformed_ack_trace_raises(self):
+        with pytest.raises(WireError):
+            decode_frame(b'{"kind":"ack","seq":1,"trace":5}')
+
+
+class TestDescriptions:
+    """Every wire-level object has a stable, non-empty description that
+    survives an encode/decode round trip (the hop-log contract of
+    repro.network.trace)."""
+
+    def test_every_message_kind_round_trips_its_description(self):
+        for msg in _sample_messages():
+            description = describe_message(msg)
+            assert description
+            assert describe_message(decode(encode(msg))) == description
+
+    def test_message_descriptions_name_the_operation(self):
+        described = [describe_message(m) for m in _sample_messages()]
+        assert [d.split()[0] for d in described] == [
+            "SUB", "UNSUB", "ADV", "UNADV", "PUB",
+        ]
+
+    def test_data_frame_description_includes_the_payload(self):
+        msg = SubscribeMsg(expr=parse_xpath("/a/b"), subscriber_id="s")
+        frame = decode_frame(encode_data_frame(7, msg))
+        assert describe_message(frame) == "DATA seq=7 SUB /a/b"
+
+    def test_ack_frame_description_is_non_empty(self):
+        assert describe_message(
+            decode_frame(encode_ack_frame(3))
+        ) == "ACK seq=3"
+        assert describe_message(
+            decode_frame(encode_ack_frame(3, trace_id="t2"))
+        ) == "ACK seq=3 trace=t2"
+
+    def test_raw_frame_description_wraps_the_message(self):
+        raw = decode_frame(encode(UnadvertiseMsg(adv_id="g")))
+        assert describe_message(raw) == "RAW UNADV g"
 
 
 NAMES = st.sampled_from(["a", "b", "c", "meta", "*"])
