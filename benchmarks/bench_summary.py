@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Render a BENCH_obs.json artifact as a GitHub-flavoured markdown table.
+
+Usage::
+
+    python benchmarks/bench_summary.py BENCH_obs.json
+    python benchmarks/bench_summary.py BENCH_obs.json --prefix matching.mass.
+
+CI appends the output to ``$GITHUB_STEP_SUMMARY`` so every benchmark
+lane's p50/p95 timings are readable from the job page without
+downloading the artifact.  Values are raw seconds (per sample) plus the
+calibrated p50 (seconds divided by the run's calibration figure — the
+machine-independent number the regression gate compares).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def _fmt(seconds: float) -> str:
+    if seconds >= 1.0:
+        return "%.3f s" % seconds
+    if seconds >= 1e-3:
+        return "%.3f ms" % (seconds * 1e3)
+    return "%.1f µs" % (seconds * 1e6)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("artifact", help="BENCH_obs.json from a benchmark run")
+    parser.add_argument(
+        "--prefix",
+        action="append",
+        default=None,
+        metavar="PREFIX",
+        help="only histograms under this prefix (repeatable; default all)",
+    )
+    parser.add_argument(
+        "--title", default="Benchmark timings", help="markdown heading"
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.artifact) as handle:
+        payload = json.load(handle)
+    calibration = payload.get("meta", {}).get("calibration_seconds") or 0.0
+    histograms = payload.get("metrics", {}).get("histograms", {})
+
+    rows = []
+    for name in sorted(histograms):
+        if args.prefix and not any(name.startswith(p) for p in args.prefix):
+            continue
+        stats = histograms[name]
+        calibrated = (
+            "%.4f" % (stats["p50"] / calibration) if calibration else "—"
+        )
+        rows.append(
+            "| `%s` | %d | %s | %s | %s |"
+            % (
+                name,
+                stats["count"],
+                _fmt(stats["p50"]),
+                _fmt(stats["p95"]),
+                calibrated,
+            )
+        )
+
+    print("## %s" % args.title)
+    if not rows:
+        print()
+        print("_no matching histograms in %s_" % args.artifact)
+        return 0
+    print()
+    print(
+        "calibration: %.4fs (python %s)"
+        % (calibration, payload.get("meta", {}).get("python", "?"))
+    )
+    print()
+    print("| metric | samples | p50 | p95 | calibrated p50 |")
+    print("|---|---:|---:|---:|---:|")
+    for row in rows:
+        print(row)
+    gauges = payload.get("metrics", {}).get("gauges", {})
+    sized = {
+        name: value
+        for name, value in sorted(gauges.items())
+        if args.prefix and any(name.startswith(p) for p in args.prefix)
+    }
+    if sized:
+        print()
+        for name, value in sized.items():
+            print("- `%s`: %d" % (name, value))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

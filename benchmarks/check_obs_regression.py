@@ -88,6 +88,23 @@ def main(argv=None) -> int:
         action="store_true",
         help="copy the current artifact over the baseline and exit",
     )
+    parser.add_argument(
+        "--only",
+        action="append",
+        metavar="PREFIX",
+        default=None,
+        help="gate only metrics under this prefix (repeatable); lets "
+        "several CI lanes share one baseline file, each gating its own "
+        "slice (e.g. the mass-matching lane passes --only matching.mass.)",
+    )
+    parser.add_argument(
+        "--exclude",
+        action="append",
+        metavar="PREFIX",
+        default=None,
+        help="skip metrics under this prefix (repeatable) — the "
+        "complement of --only for the lane that runs everything else",
+    )
     args = parser.parse_args(argv)
 
     if args.write_baseline:
@@ -117,6 +134,10 @@ def main(argv=None) -> int:
     compared = 0
     for name in sorted(base_hists):
         if not gated(name):
+            continue
+        if args.only and not any(name.startswith(p) for p in args.only):
+            continue
+        if args.exclude and any(name.startswith(p) for p in args.exclude):
             continue
         base = base_hists[name]
         current = cur_hists.get(name)

@@ -57,6 +57,11 @@ def pytest_configure(config):
     config.addinivalue_line(
         "markers", "paper: marks benchmarks that regenerate a paper table/figure"
     )
+    config.addinivalue_line(
+        "markers",
+        "soak: long-running scale benchmarks (1M subscriptions) — "
+        'excluded from the PR lanes with -m "not soak"',
+    )
     # The benchmark session runs with hot-path metrics ON so the
     # BENCH_obs.json artifact records every instrumented component's
     # timing distribution (the perf trajectory CI tracks).

@@ -1,16 +1,20 @@
-"""Ablation: the three publication-matching engines.
+"""Ablation: the five publication-matching engines.
 
 The paper's §5 references a comparison with YFilter: the covering tree
 wins on high-overlap, wildcard-heavy workloads (covered subtrees are
 pruned), YFilter on low-match workloads (shared prefixes are cheap to
-reject).  This ablation times the flat scan, the covering tree and the
-YFilter NFA on one workload and checks the engines agree.
+reject).  This ablation times the flat scan, the covering tree, the
+YFilter NFA, the predicate index and the lazy-DFA shared automaton on
+one workload, checks the engines agree, and reports the shared
+engines' ``automaton_size()`` (the mass-subscription scaling story is
+``test_mass_matching.py``; this is the paper-sized workload).
 """
 
 import pytest
 
 from repro.matching.engine import LinearMatcher, TreeMatcher
 from repro.matching.predicate_index import PredicateIndexMatcher
+from repro.matching.shared_automaton import SharedAutomatonMatcher
 from repro.matching.yfilter import YFilterMatcher
 from repro.dtd.samples import nitf_dtd
 from repro.workloads.document_generator import generate_documents
@@ -54,6 +58,28 @@ def test_yfilter_nfa(benchmark, workload):
     exprs, paths = workload
     engine = _build(YFilterMatcher, exprs)
     benchmark.pedantic(lambda: _route_all(engine, paths), rounds=1, iterations=1)
+    print(
+        "\nYFilter NFA: %d exprs -> %d automaton states"
+        % (len(exprs), engine.automaton_size())
+    )
+
+
+@pytest.mark.paper
+def test_shared_automaton(benchmark, workload):
+    exprs, paths = workload
+    engine = _build(SharedAutomatonMatcher, exprs)
+    engine.match(paths[0])  # warm the DFA start state
+    benchmark.pedantic(lambda: _route_all(engine, paths), rounds=1, iterations=1)
+    print(
+        "\nshared automaton: %d exprs -> %d NFA states, %d cached DFA "
+        "states, %d flushes"
+        % (
+            len(exprs),
+            engine.automaton_size(),
+            engine.dfa_size(),
+            engine.dfa_flushes,
+        )
+    )
 
 
 @pytest.mark.paper
@@ -73,6 +99,7 @@ def test_engines_agree(benchmark, workload):
             TreeMatcher,
             YFilterMatcher,
             PredicateIndexMatcher,
+            SharedAutomatonMatcher,
         )
     ]
 

@@ -13,6 +13,7 @@ audit job explores fresh schedules while keeping failures replayable.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Dict, Optional
 
 from repro.audit.oracle import AuditOracle, AuditReport
@@ -68,6 +69,7 @@ def run_audited_workload(
     check: bool = True,
     tracing: bool = False,
     flight_dir: Optional[str] = None,
+    matching_engine: str = "auto",
 ):
     """Run the audited workload; returns ``(overlay, oracle, report)``.
 
@@ -76,6 +78,8 @@ def run_audited_workload(
     With *tracing* the overlay stamps every operation with a causal
     trace context before any traffic flows (``flight_dir`` is where
     automatic flight-recorder dumps land; see :mod:`repro.obs.flight`).
+    ``matching_engine`` selects every broker's publication-matching
+    backend, auditing the overlay's six invariants against it.
     """
     dtd = psd_dtd()
     universe = PathUniverse.from_dtd(dtd, max_depth=10)
@@ -83,6 +87,8 @@ def run_audited_workload(
         config = RoutingConfig.with_adv_with_cov_ipm(
             max_imperfect_degree=max_degree, merge_interval=merge_interval
         )
+    if config.matching_engine != matching_engine:
+        config = replace(config, matching_engine=matching_engine)
     overlay = Overlay.binary_tree(
         levels,
         config=config,

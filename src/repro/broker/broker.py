@@ -46,6 +46,7 @@ from repro.covering.pathmatch import matches_path
 from repro.covering.subscription_tree import SubscriptionTree
 from repro.errors import ProtocolError, RoutingError
 from repro.matching.engine import LinearMatcher
+from repro.matching.shared_automaton import SharedAutomatonMatcher
 from repro.merging.engine import MergeEvent, MergingEngine, PathUniverse
 from repro.merging.registry import MergerRegistry
 from repro.xpath.ast import XPathExpr
@@ -88,6 +89,20 @@ class Broker:
         else:
             self.tree = None
             self.flat = LinearMatcher()
+
+        #: The shared-automaton publication matcher (``matching_engine:
+        #: "shared"``): a mirror index over the authoritative table
+        #: above, maintained incrementally on SUB/UNSUB and rebuilt
+        #: lazily after bulk rewrites (merge sweeps, snapshot restore).
+        #: The tree/flat table keeps driving *forwarding* decisions —
+        #: the mirror only answers "which keys match this publication".
+        if self.config.matching_engine == "shared":
+            self.shared: Optional[SharedAutomatonMatcher] = (
+                SharedAutomatonMatcher()
+            )
+        else:
+            self.shared = None
+        self._shared_dirty = False
 
         self._merger: Optional[MergingEngine] = None
         self._merge_registry: Optional[MergerRegistry] = None
@@ -286,6 +301,7 @@ class Broker:
         if from_hop in self.local_clients:
             self.client_subs[from_hop].add(expr)
         self._invalidate_match_cache()
+        self._shared_add(expr, from_hop)
 
         out: Outbound = []
         if self.config.covering:
@@ -430,6 +446,7 @@ class Broker:
         never outlive the upstream entry it describes (it would suppress
         a later re-forward of the same expression)."""
         self._invalidate_match_cache()
+        self._shared_remove(expr, from_hop)
         out: Outbound = []
         if self.config.covering:
             outcome = self.tree.remove(expr, from_hop)
@@ -571,16 +588,21 @@ class Broker:
             registry.counter("broker.match_cache.misses").inc()
         path = publication.path
         attributes = publication.attribute_maps()
-        if self.config.covering:
+        if self.shared is not None:
+            keys = frozenset(self._shared_engine().match(path, attributes))
+            engine = "shared"
+        elif self.config.covering:
             keys = frozenset(self.tree.match_keys(path, attributes))
+            engine = "tree"
         else:
             keys = frozenset(self.flat.match(path, attributes))
+            engine = "flat"
         self.match_cache.put(cache_key, (self._match_generation, keys))
         if scope is not None:
             scope.sub_span(
                 "match", wall0, perf_counter(),
                 cache=cache_state,
-                engine="tree" if self.config.covering else "flat",
+                engine=engine,
                 keys=len(keys),
             )
         return keys
@@ -589,6 +611,51 @@ class Broker:
         """Bump the match-cache generation: every entry written before
         this routing-state change is stale from now on."""
         self._match_generation += 1
+
+    # -- the shared-automaton mirror ------------------------------------------
+
+    def _shared_add(self, expr: XPathExpr, key: object):
+        """Mirror one subscription into the shared automaton (no-op
+        while dirty — the pending rebuild captures the whole table)."""
+        if self.shared is not None and not self._shared_dirty:
+            self.shared.add(expr, key)
+
+    def _shared_remove(self, expr: XPathExpr, key: object):
+        if self.shared is not None and not self._shared_dirty:
+            self.shared.remove(expr, key)
+
+    def _mark_shared_dirty(self):
+        """The routing table was rewritten behind the mirror's back
+        (merge sweep, snapshot restore): rebuild lazily on next match."""
+        if self.shared is not None:
+            self._shared_dirty = True
+
+    def _shared_engine(self) -> SharedAutomatonMatcher:
+        """The live mirror, rebuilding it from the authoritative table
+        first if a bulk rewrite invalidated it."""
+        if self._shared_dirty:
+            registry = obs.get_registry()
+            if registry.enabled:
+                with registry.timer("matching.shared.rebuild"):
+                    self._rebuild_shared()
+                registry.counter("matching.shared.rebuilds").inc()
+            else:
+                self._rebuild_shared()
+            self._shared_dirty = False
+        return self.shared
+
+    def _rebuild_shared(self):
+        self.shared.clear()
+        shared_add = self.shared.add
+        if self.config.covering:
+            for node in self.tree.iter_nodes():
+                expr = node.expr
+                for key in node.keys:
+                    shared_add(expr, key)
+        else:
+            for expr in self.flat.exprs():
+                for key in self.flat.keys_of(expr):
+                    shared_add(expr, key)
 
     def _client_wants(self, client_id: object, path, attributes=None) -> bool:
         """Exact-subscription recheck at the edge: merging-induced false
@@ -632,8 +699,12 @@ class Broker:
             )
         # Sweeps rewrite the table through the engine's internals, in
         # both covering and flat mode: cached destination sets computed
-        # before the sweep are stale from here on.
+        # before the sweep are stale from here on — and so is the
+        # shared-automaton mirror, which is rebuilt lazily from the
+        # rewritten table.
         self._invalidate_match_cache()
+        if report.events:
+            self._mark_shared_dirty()
         out: Outbound = []
         for event in report.events:
             self._merge_registry.record(event)
@@ -686,6 +757,11 @@ class Broker:
         }
         if self.config.covering:
             summary["top_level_subscriptions"] = self.tree.top_level_size()
+        if self.shared is not None:
+            summary["matching_engine"] = "shared"
+            summary["shared_automaton"] = dict(
+                self.shared.stats(), dirty=self._shared_dirty
+            )
         if self._merge_registry is not None:
             summary["live_mergers"] = len(self._merge_registry)
             summary["merge_events"] = len(self.merge_log)

@@ -41,6 +41,7 @@ def snapshot(broker: Broker) -> Dict:
             "max_imperfect_degree": config.max_imperfect_degree,
             "merge_interval": config.merge_interval,
             "advert_covering": config.advert_covering,
+            "matching_engine": config.matching_engine,
         },
         "neighbors": sorted(map(str, broker.neighbors)),
         "local_clients": sorted(map(str, broker.local_clients)),
@@ -124,6 +125,7 @@ def restore(state: Dict, universe=None) -> Broker:
             max_imperfect_degree=config_state["max_imperfect_degree"],
             merge_interval=config_state["merge_interval"],
             advert_covering=config_state.get("advert_covering", False),
+            matching_engine=config_state.get("matching_engine", "auto"),
         )
         broker = Broker(state["broker_id"], config=config, universe=universe)
         for neighbor in state["neighbors"]:
@@ -149,6 +151,13 @@ def restore(state: Dict, universe=None) -> Broker:
                     broker.tree.insert(expr, key)
                 else:
                     broker.flat.add(expr, key)
+        # Subscriptions above went straight into the table, behind the
+        # shared-automaton mirror's back: rebuild it lazily on the
+        # first publication the restored broker matches.  (Automaton
+        # state is derived, so snapshots never carry it — a restored
+        # broker re-derives it from the restored table, same as the
+        # match caches starting cold.)
+        broker._mark_shared_dirty()
         for item in state["forwarded"]:
             expr = parse_xpath(item["expr"])
             for neighbor in item["neighbors"]:

@@ -21,6 +21,16 @@ class MergingMode(enum.Enum):
     IMPERFECT = "imperfect"
 
 
+#: Publication-matching backends selectable per broker.  ``auto`` keeps
+#: the paper's arrangement (the covering tree doubles as the matcher
+#: when covering is on, the flat linear scan otherwise); ``shared``
+#: layers a :class:`~repro.matching.shared_automaton.
+#: SharedAutomatonMatcher` mirror over the routing table so one
+#: document pass matches every resident subscription at once (the
+#: mass-subscription path — see docs/matching.md).
+MATCHING_ENGINES = ("auto", "shared")
+
+
 @dataclass(frozen=True)
 class RoutingConfig:
     """One routing strategy.
@@ -50,10 +60,20 @@ class RoutingConfig:
     #: same manner" as subscription covering).  Off by default — the
     #: paper's evaluation does not enable it.
     advert_covering: bool = False
+    #: Publication-matching backend (see :data:`MATCHING_ENGINES`).
+    #: Orthogonal to the routing strategy: the SRT/covering tree keep
+    #: driving *forwarding*, this only selects how a publication is
+    #: matched against the resident XPEs.
+    matching_engine: str = "auto"
 
     def __post_init__(self):
         if self.merge_interval < 1:
             raise ValueError("merge_interval must be at least 1")
+        if self.matching_engine not in MATCHING_ENGINES:
+            raise ValueError(
+                "unknown matching engine %r (one of %s)"
+                % (self.matching_engine, ", ".join(MATCHING_ENGINES))
+            )
 
     # -- the six rows of Tables 2 and 3 ------------------------------------
 

@@ -23,7 +23,7 @@ import collections
 import sys
 
 from repro.adverts.generator import generate_advertisements
-from repro.broker.strategies import RoutingConfig
+from repro.broker.strategies import MATCHING_ENGINES, RoutingConfig
 from repro.covering.algorithms import covers
 from repro.covering.pathmatch import matches_path
 from repro.dtd.parser import parse_dtd
@@ -50,6 +50,18 @@ def _add_faults_option(parser):
         help="inject link faults with the reliability layer engaged, "
         "e.g. 'drop=0.1,dup=0.05,seed=7' (see "
         "repro.network.faults.FaultPlan.from_spec)",
+    )
+
+
+def _add_engine_option(parser):
+    parser.add_argument(
+        "--engine",
+        choices=MATCHING_ENGINES,
+        default="auto",
+        help="publication-matching backend on every broker: 'auto' "
+        "matches through the routing table itself, 'shared' layers the "
+        "shared-automaton mass-subscription engine over it (see "
+        "docs/matching.md)",
     )
 
 
@@ -146,6 +158,7 @@ def cmd_simulate(args) -> int:
         check_delivery_equivalence=strategies is None,
         faults=_parse_faults(args),
         batching=args.batch,
+        matching_engine=args.engine,
     )
     print(result.format())
     if metrics_out:
@@ -177,6 +190,7 @@ def cmd_stats(args) -> int:
         check_delivery_equivalence=False,
         faults=_parse_faults(args),
         batching=args.batch,
+        matching_engine=args.engine,
     )
     registry = obs.get_registry()
     if args.format == "line":
@@ -233,6 +247,7 @@ def cmd_audit(args) -> int:
             max_degree=args.max_degree,
             merge_interval=args.merge_interval,
             seed=args.seed + 3,
+            matching_engine=args.engine,
         )
         status = "OK" if report.ok else "FAIL"
         print(
@@ -456,6 +471,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="publish each document's paths as one batch "
         "(Overlay.submit_batch)",
     )
+    _add_engine_option(p)
     _add_faults_option(p)
     p.set_defaults(fn=cmd_simulate)
 
@@ -477,6 +493,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="publish each document's paths as one batch "
         "(Overlay.submit_batch)",
     )
+    _add_engine_option(p)
     _add_faults_option(p)
     p.set_defaults(fn=cmd_stats)
 
@@ -497,6 +514,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--documents", type=int, default=5)
     p.add_argument("--max-degree", type=float, default=0.1)
     p.add_argument("--merge-interval", type=int, default=4)
+    _add_engine_option(p)
     p.set_defaults(fn=cmd_audit)
 
     p = sub.add_parser(

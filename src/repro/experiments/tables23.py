@@ -22,6 +22,7 @@ extra traffic for the shortest delays).
 from __future__ import annotations
 
 import random
+from dataclasses import replace
 from typing import Optional, Sequence
 
 from repro.broker.strategies import RoutingConfig
@@ -44,6 +45,7 @@ def run_traffic_experiment(
     check_delivery_equivalence: bool = True,
     faults=None,
     batching: bool = False,
+    matching_engine: str = "auto",
 ) -> ExperimentResult:
     """Run the Tables 2/3 experiment on a ``levels``-deep broker tree.
 
@@ -56,6 +58,10 @@ def run_traffic_experiment(
 
     ``batching`` publishes each document's paths as one batch (see
     ``Overlay.submit_batch``); delivered document sets are unaffected.
+
+    ``matching_engine`` selects the publication-matching backend on
+    every broker (``auto`` or ``shared``); routing decisions and
+    delivered document sets are identical across engines.
     """
     if strategies is None:
         strategies = RoutingConfig.ALL_NAMES
@@ -79,7 +85,7 @@ def run_traffic_experiment(
 
     baseline_deliveries = None
     for name in strategies:
-        config = _configure(name, merge_interval)
+        config = _configure(name, merge_interval, matching_engine)
         overlay = Overlay.binary_tree(
             levels,
             config=config,
@@ -131,16 +137,14 @@ def run_traffic_experiment(
     return result
 
 
-def _configure(name: str, merge_interval: int) -> RoutingConfig:
+def _configure(
+    name: str, merge_interval: int, matching_engine: str = "auto"
+) -> RoutingConfig:
     config = RoutingConfig.by_name(name)
-    if config.merging.value != "off":
-        config = RoutingConfig(
-            advertisements=config.advertisements,
-            covering=config.covering,
-            merging=config.merging,
-            max_imperfect_degree=config.max_imperfect_degree,
-            merge_interval=merge_interval,
-        )
+    if config.merging.value != "off" and config.merge_interval != merge_interval:
+        config = replace(config, merge_interval=merge_interval)
+    if config.matching_engine != matching_engine:
+        config = replace(config, matching_engine=matching_engine)
     return config
 
 

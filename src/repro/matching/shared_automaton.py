@@ -1,0 +1,266 @@
+"""The mass-subscription matching engine: a lazy DFA cached over the
+shared-prefix NFA.
+
+At 10^5–10^6 resident subscriptions per broker, anything per-XPE is
+linear death: even PR 3's compiled regexes pay one probe per stored
+expression per publication.  Following YFilter [Diao et al., TODS 2003]
+and the FPGA XML-filtering line (arXiv 0909.1781), this engine merges
+every predicate-free XPE into one :class:`~repro.matching.yfilter.
+SharedPathNFA` and matches a publication with a single document pass —
+cost bounded by automaton size, not subscription count.
+
+Three layers on top of the plain NFA simulation:
+
+* **Lazy DFA.**  The active-state-set of the NFA simulation is
+  deterministic given the input path, so each distinct set becomes one
+  cached DFA state; a ``(state, element)`` transition is computed once
+  via the subset construction and replayed as a single dict lookup ever
+  after.  Publication workloads touch a tiny, hot fragment of the full
+  (exponential) subset space — the cache is bounded by
+  ``dfa_state_limit`` and flushed wholesale when it overflows (the
+  classic lazy-DFA discipline; correctness never depends on the cache).
+* **Predicate post-filtering.**  Attribute predicates are invisible to
+  the structural automaton.  Predicated expressions live in a
+  :class:`~repro.matching.predicate_index.PredicateIndexMatcher` side
+  index (the paper's companion matcher [16]): the automaton handles the
+  structural mass, the predicate index the value-constrained minority,
+  and a match is the union of the two.
+* **Versioning.**  ``version`` is bumped by every mutation that can
+  change a match result; brokers layer their generation-stamped match
+  caches above it and the audit oracle replays matches through the
+  live engine, so a stale cached destination set is detectable by
+  construction.  Structural mutations additionally invalidate the DFA
+  cache (NFA states may have been pruned — cached subsets would
+  reference freed states).
+
+Incremental ``add``/``remove`` (including real NFA state pruning on
+unsubscribe) comes from the underlying :class:`SharedPathNFA`;
+``automaton_size()`` returns to baseline after any churn cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro import obs
+from repro.matching.predicate_index import PredicateIndexMatcher
+from repro.matching.yfilter import SharedPathNFA, _State
+from repro.xpath.ast import XPathExpr
+
+#: Default bound on cached DFA states before a wholesale flush.
+DEFAULT_DFA_STATE_LIMIT = 50_000
+
+
+class _DFAState:
+    """One lazily-built DFA state: a canonicalised NFA subset."""
+
+    __slots__ = ("nfa_states", "accepting", "transitions")
+
+    def __init__(self, nfa_states: Tuple[_State, ...]):
+        self.nfa_states = nfa_states
+        accepting: Set[XPathExpr] = set()
+        for state in nfa_states:
+            if state.accepting:
+                accepting |= state.accepting
+        self.accepting: FrozenSet[XPathExpr] = frozenset(accepting)
+        self.transitions: Dict[str, "_DFAState"] = {}
+
+
+#: The unique dead state: empty subset, no way back.
+_DEAD = _DFAState(())
+
+
+class SharedAutomatonMatcher:
+    """Shared-automaton bulk matcher with lazy-DFA state caching.
+
+    Engine contract (same as ``LinearMatcher``/``TreeMatcher``/
+    ``YFilterMatcher``/``PredicateIndexMatcher``): ``add(expr, key)``,
+    ``remove(expr, key)``, ``match(path, attributes) -> set of keys``,
+    plus the expression-level views.  Duplicate XPEs under distinct
+    keys share one automaton trail and one key set.
+    """
+
+    def __init__(self, dfa_state_limit: int = DEFAULT_DFA_STATE_LIMIT):
+        self._nfa = SharedPathNFA()
+        self._predicated = PredicateIndexMatcher()
+        self._keys: Dict[XPathExpr, Set[object]] = {}
+        #: Bumped on every mutation that can change a match result.
+        self.version = 0
+        self.dfa_state_limit = dfa_state_limit
+        self.dfa_flushes = 0
+        self._dfa_cache: Dict[FrozenSet[int], _DFAState] = {}
+        self._dfa_start: Optional[_DFAState] = None
+
+    # -- maintenance -----------------------------------------------------
+
+    def add(self, expr: XPathExpr, key: object = None):
+        keys = self._keys.get(expr)
+        if keys is None:
+            self._keys[expr] = {key}
+            if expr.has_predicates:
+                self._predicated.add(expr, key)
+            else:
+                self._nfa.add(expr)
+                self._invalidate_dfa()
+        else:
+            if key in keys:
+                return
+            keys.add(key)
+            if expr.has_predicates:
+                self._predicated.add(expr, key)
+        self.version += 1
+
+    def remove(self, expr: XPathExpr, key: object = None):
+        keys = self._keys.get(expr)
+        if keys is None or key not in keys:
+            return
+        keys.discard(key)
+        if expr.has_predicates:
+            self._predicated.remove(expr, key)
+        if not keys:
+            del self._keys[expr]
+            if not expr.has_predicates:
+                self._nfa.remove(expr)
+                self._invalidate_dfa()
+        self.version += 1
+
+    def clear(self):
+        """Drop every expression (used by full rebuilds)."""
+        self._nfa = SharedPathNFA()
+        self._predicated = PredicateIndexMatcher()
+        self._keys = {}
+        self._invalidate_dfa()
+        self.version += 1
+
+    # -- the lazy DFA ----------------------------------------------------
+
+    def _invalidate_dfa(self):
+        """Structural NFA change: every cached subset may reference
+        pruned states, so the whole DFA is discarded and re-derived
+        lazily from the live NFA."""
+        if self._dfa_cache or self._dfa_start is not None:
+            self._dfa_cache = {}
+            self._dfa_start = None
+
+    def _dfa_state_for(self, nfa_states: Dict[int, _State]) -> _DFAState:
+        key = frozenset(nfa_states)
+        state = self._dfa_cache.get(key)
+        if state is None:
+            if len(self._dfa_cache) >= self.dfa_state_limit:
+                # Wholesale flush: states held by an in-flight walk stay
+                # valid (the NFA is unchanged), they just stop being
+                # findable — the next walk rebuilds the hot fragment.
+                self._dfa_cache = {}
+                self._dfa_start = None
+                self.dfa_flushes += 1
+                obs.inc("matching.shared.dfa_flushes")
+            state = self._dfa_cache[key] = _DFAState(
+                tuple(nfa_states.values())
+            )
+        return state
+
+    def _start_state(self) -> _DFAState:
+        if self._dfa_start is None:
+            self._dfa_start = self._dfa_state_for(self._nfa.initial_states())
+        return self._dfa_start
+
+    def _transition(self, state: _DFAState, symbol: str) -> _DFAState:
+        nxt: Dict[int, _State] = {}
+        for nfa_state in state.nfa_states:
+            target = nfa_state.edges.get(symbol)
+            if target is not None:
+                nxt[id(target)] = target
+            star = nfa_state.edges.get("*")
+            if star is not None:
+                nxt[id(star)] = star
+            if nfa_state.self_loop:
+                nxt[id(nfa_state)] = nfa_state
+        _absorb(nxt)
+        target_state = self._dfa_state_for(nxt) if nxt else _DEAD
+        state.transitions[symbol] = target_state
+        return target_state
+
+    def _match_structural(self, path: Sequence[str]) -> Set[XPathExpr]:
+        matched: Set[XPathExpr] = set()
+        state = self._start_state()
+        transition = self._transition
+        for symbol in path:
+            nxt = state.transitions.get(symbol)
+            if nxt is None:
+                nxt = transition(state, symbol)
+            if nxt is _DEAD:
+                break
+            state = nxt
+            if state.accepting:
+                matched |= state.accepting
+        return matched
+
+    # -- matching --------------------------------------------------------
+
+    @obs.timed("matching.shared.match")
+    def match_exprs(
+        self, path: Sequence[str], attributes=None
+    ) -> Set[XPathExpr]:
+        """All stored XPEs matching the publication *path* (one
+        automaton pass plus the predicate-index side lookup)."""
+        matched = self._match_structural(path)
+        if len(self._predicated):
+            matched |= self._predicated.match_exprs(path, attributes)
+        return matched
+
+    def match(self, path: Sequence[str], attributes=None) -> Set[object]:
+        """Union of subscriber keys of the matching XPEs (engine API)."""
+        keys: Set[object] = set()
+        expr_keys = self._keys
+        for expr in self.match_exprs(path, attributes):
+            keys |= expr_keys[expr]
+        return keys
+
+    def matching_exprs(
+        self, path: Sequence[str], attributes=None
+    ) -> List[XPathExpr]:
+        return list(self.match_exprs(path, attributes))
+
+    # -- views -----------------------------------------------------------
+
+    def keys_of(self, expr: XPathExpr) -> Set[object]:
+        return set(self._keys.get(expr, ()))
+
+    def exprs(self):
+        return list(self._keys)
+
+    def __len__(self):
+        return len(self._keys)
+
+    def automaton_size(self) -> int:
+        """Live NFA state count (pruning returns this to baseline
+        after churn — asserted by the churn tests)."""
+        return self._nfa.state_count()
+
+    def dfa_size(self) -> int:
+        """Cached DFA states (the lazily-explored hot fragment)."""
+        return len(self._dfa_cache)
+
+    def stats(self) -> Dict[str, int]:
+        """Engine internals for ``Broker.describe()``/ablations."""
+        return {
+            "exprs": len(self._keys),
+            "structural_exprs": len(self._nfa),
+            "predicated_exprs": len(self._predicated),
+            "nfa_states": self.automaton_size(),
+            "dfa_states": self.dfa_size(),
+            "dfa_flushes": self.dfa_flushes,
+            "version": self.version,
+        }
+
+
+def _absorb(active: Dict[int, _State]):
+    """ε-closure over the //-descendant links (module-local copy of the
+    NFA helper, kept tight for the transition hot path)."""
+    stack = list(active.values())
+    while stack:
+        state = stack.pop()
+        child = state.descendant
+        if child is not None and id(child) not in active:
+            active[id(child)] = child
+            stack.append(child)

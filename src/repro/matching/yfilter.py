@@ -1,14 +1,19 @@
-"""A YFilter-style shared-NFA matcher (baseline).
+"""The shared-prefix NFA over XPE path structure, and the YFilter
+baseline matcher built on it.
 
 The paper's evaluation (§5, "Publication Routing Time") references a
 comparison of its covering-tree router against **YFilter** [Diao et
 al., TODS 2003]: YFilter compiles all XPEs into one NFA whose common
 prefixes are shared, then matches each incoming document against the
-combined automaton.  This module implements that baseline for the
-path-publication model used here, with the same interface as
-:class:`~repro.matching.engine.LinearMatcher` and
-:class:`~repro.matching.engine.TreeMatcher` so the three engines are
-interchangeable in brokers and benchmarks.
+combined automaton.  :class:`SharedPathNFA` implements that automaton
+for the path-publication model used here; :class:`YFilterMatcher` wraps
+it with the common engine interface
+(:class:`~repro.matching.engine.LinearMatcher` /
+:class:`~repro.matching.engine.TreeMatcher` /
+:class:`~repro.matching.predicate_index.PredicateIndexMatcher`) so the
+engines are interchangeable in brokers and benchmarks.  The
+production-scale engine — a lazy DFA cached over this same NFA — lives
+in :mod:`repro.matching.shared_automaton`.
 
 Construction: one trie-like NFA over location steps.  A ``/t`` step is
 an edge labelled ``t``; ``/*`` an edge labelled ``*`` (matches any
@@ -21,14 +26,24 @@ Matching runs the active-state-set simulation once per publication
 path; its cost is bounded by the automaton size, not the number of
 XPEs — prefix sharing is exactly what makes YFilter fast on large
 overlapping workloads.
+
+Removal really prunes: every state carries a reference count of the
+expression trails traversing it, and when an expression's last key is
+gone the shallowest dead state on its trail is unlinked, releasing the
+whole dead subtree.  ``state_count()`` therefore returns to its old
+value after any add/remove churn cycle — dead automaton branches would
+otherwise accumulate without bound under subscriber churn (the classic
+YFilter "prune lazily" stance, which this module used to take, is
+untenable at routing-table scale).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro import obs
 from repro.covering.pathmatch import matches_path
+from repro.errors import RoutingError
 from repro.xpath.ast import WILDCARD, Axis, XPathExpr
 
 
@@ -37,25 +52,181 @@ class _State:
 
     ``edges`` maps an element name (or ``*``) to the next state;
     ``descendant`` points to the //-state child (which self-loops);
-    ``accepting`` holds the keys of XPEs that end here.
+    ``accepting`` holds the XPEs that end here; ``refs`` counts the
+    expression trails that traverse this state (pruning drops a state
+    when it reaches zero).
     """
 
-    __slots__ = ("edges", "descendant", "accepting", "self_loop")
+    __slots__ = ("edges", "descendant", "accepting", "self_loop", "refs")
 
     def __init__(self, self_loop: bool = False):
         self.edges: Dict[str, "_State"] = {}
         self.descendant: Optional["_State"] = None
         self.accepting: Set[XPathExpr] = set()
         self.self_loop = self_loop
+        self.refs = 0
 
 
-class YFilterMatcher:
-    """Shared-prefix NFA over a set of XPEs."""
+#: One trail entry: (parent state, edge label or None for the
+#: descendant link, reached state).
+_TrailEntry = Tuple[_State, Optional[str], _State]
+
+
+class SharedPathNFA:
+    """A shared-prefix NFA over a set of structural XPE skeletons.
+
+    Predicates are invisible to the automaton — callers that admit
+    predicated expressions must verify predicates on the structural
+    matches (YFilter's value-based predicates are likewise evaluated
+    outside the structural NFA).
+    """
 
     def __init__(self):
         self._root = _State()
+        self._trails: Dict[XPathExpr, List[_TrailEntry]] = {}
+
+    def __len__(self):
+        return len(self._trails)
+
+    def __contains__(self, expr: XPathExpr) -> bool:
+        return expr in self._trails
+
+    def exprs(self) -> Iterator[XPathExpr]:
+        return iter(self._trails)
+
+    # -- maintenance -----------------------------------------------------
+
+    def add(self, expr: XPathExpr):
+        """Insert *expr*'s structural trail (idempotent)."""
+        if expr in self._trails:
+            return
+        trail: List[_TrailEntry] = []
+        state = self._root
+        if expr.is_relative:
+            state = self._descendant_of(state, trail)
+        for index, step in enumerate(expr.steps):
+            if step.axis is Axis.DESCENDANT and not (
+                index == 0 and expr.is_relative
+            ):
+                state = self._descendant_of(state, trail)
+            state = self._edge_of(state, step.test, trail)
+        state.accepting.add(expr)
+        for _, _, reached in trail:
+            reached.refs += 1
+        self._trails[expr] = trail
+
+    def remove(self, expr: XPathExpr):
+        """Remove *expr* and prune every state its departure orphans.
+
+        The trail's states form a root-to-leaf chain; a state's
+        reference count bounds its children's, so unlinking the
+        *shallowest* state that reached zero releases the entire dead
+        subtree in one cut.
+        """
+        trail = self._trails.pop(expr, None)
+        if trail is None:
+            return
+        trail[-1][2].accepting.discard(expr)
+        for _, _, reached in trail:
+            reached.refs -= 1
+        for parent, label, reached in trail:
+            if reached.refs == 0:
+                if label is None:
+                    parent.descendant = None
+                else:
+                    del parent.edges[label]
+                break
+
+    def _descendant_of(self, state: _State, trail: List[_TrailEntry]) -> _State:
+        child = state.descendant
+        if child is None:
+            child = state.descendant = _State(self_loop=True)
+        trail.append((state, None, child))
+        return child
+
+    def _edge_of(
+        self, state: _State, test: str, trail: List[_TrailEntry]
+    ) -> _State:
+        nxt = state.edges.get(test)
+        if nxt is None:
+            nxt = state.edges[test] = _State()
+        trail.append((state, test, nxt))
+        return nxt
+
+    # -- simulation ------------------------------------------------------
+
+    def initial_states(self) -> Dict[int, _State]:
+        """The ε-closed start set (root plus its //-descendants)."""
+        active = {id(self._root): self._root}
+        _absorb_descendants(active)
+        return active
+
+    @staticmethod
+    def step_states(
+        active: Dict[int, _State], symbol: str
+    ) -> Dict[int, _State]:
+        """One symbol of the active-state-set simulation (ε-closed)."""
+        nxt: Dict[int, _State] = {}
+        for state in active.values():
+            target = state.edges.get(symbol)
+            if target is not None:
+                nxt[id(target)] = target
+            star = state.edges.get(WILDCARD)
+            if star is not None:
+                nxt[id(star)] = star
+            if state.self_loop:
+                nxt[id(state)] = state
+        _absorb_descendants(nxt)
+        return nxt
+
+    def match_set(self, path: Sequence[str]) -> Set[XPathExpr]:
+        """All stored XPEs whose structural skeleton matches *path*."""
+        matched: Set[XPathExpr] = set()
+        active = self.initial_states()
+        for symbol in path:
+            active = self.step_states(active, symbol)
+            if not active:
+                break
+            for state in active.values():
+                if state.accepting:
+                    matched |= state.accepting
+        return matched
+
+    def state_count(self) -> int:
+        """Size of the shared automaton (ablation/pruning metric)."""
+        seen = set()
+        stack = [self._root]
+        while stack:
+            state = stack.pop()
+            if id(state) in seen:
+                continue
+            seen.add(id(state))
+            stack.extend(state.edges.values())
+            if state.descendant is not None:
+                stack.append(state.descendant)
+        return len(seen)
+
+    def check_refcounts(self):
+        """Audit helper: every reachable non-root state must be
+        referenced by at least one live trail (raises on a leak)."""
+        reachable = -1 + self.state_count()
+        referenced = set()
+        for trail in self._trails.values():
+            for _, _, reached in trail:
+                referenced.add(id(reached))
+        if len(referenced) != reachable:
+            raise RoutingError(
+                "shared NFA leak: %d states reachable, %d referenced"
+                % (reachable, len(referenced))
+            )
+
+
+class YFilterMatcher:
+    """Shared-prefix NFA engine over a set of XPEs (the baseline)."""
+
+    def __init__(self):
+        self._nfa = SharedPathNFA()
         self._exprs: Dict[XPathExpr, Set[object]] = {}
-        self._accepting_nodes: Dict[XPathExpr, _State] = {}
 
     # -- maintenance -----------------------------------------------------
 
@@ -65,17 +236,7 @@ class YFilterMatcher:
             keys.add(key)
             return
         self._exprs[expr] = {key}
-        state = self._root
-        if expr.is_relative:
-            state = self._descendant_of(state)
-        for index, step in enumerate(expr.steps):
-            if step.axis is Axis.DESCENDANT and not (
-                index == 0 and expr.is_relative
-            ):
-                state = self._descendant_of(state)
-            state = self._edge_of(state, step.test)
-        state.accepting.add(expr)
-        self._accepting_nodes[expr] = state
+        self._nfa.add(expr)
 
     def remove(self, expr: XPathExpr, key: object = None):
         keys = self._exprs.get(expr)
@@ -85,22 +246,7 @@ class YFilterMatcher:
         if keys:
             return
         del self._exprs[expr]
-        node = self._accepting_nodes.pop(expr)
-        node.accepting.discard(expr)
-        # States are left in place (classic YFilter prunes lazily); they
-        # are shared with other expressions and harmless when inert.
-
-    def _descendant_of(self, state: _State) -> _State:
-        if state.descendant is None:
-            state.descendant = _State(self_loop=True)
-        return state.descendant
-
-    def _edge_of(self, state: _State, test: str) -> _State:
-        nxt = state.edges.get(test)
-        if nxt is None:
-            nxt = _State()
-            state.edges[test] = nxt
-        return nxt
+        self._nfa.remove(expr)
 
     # -- matching ----------------------------------------------------------
 
@@ -112,31 +258,10 @@ class YFilterMatcher:
 
         The shared automaton tracks element structure; expressions with
         attribute predicates are verified with a final predicate-aware
-        recheck (YFilter's value-based predicates are likewise evaluated
-        outside the structural NFA).
+        recheck.
         """
-        matched: Set[XPathExpr] = set()
-        active = {id(self._root): self._root}
-        _absorb_descendants(active)
-        for symbol in path:
-            nxt: Dict[int, _State] = {}
-            for state in active.values():
-                target = state.edges.get(symbol)
-                if target is not None:
-                    nxt[id(target)] = target
-                star = state.edges.get(WILDCARD)
-                if star is not None:
-                    nxt[id(star)] = star
-                if state.self_loop:
-                    nxt[id(state)] = state
-            _absorb_descendants(nxt)
-            for state in nxt.values():
-                matched |= state.accepting
-            active = nxt
-            if not active:
-                break
         verified = set()
-        for expr in matched:
+        for expr in self._nfa.match_set(path):
             if not expr.has_predicates or matches_path(
                 expr, path, attributes
             ):
@@ -166,17 +291,11 @@ class YFilterMatcher:
 
     def state_count(self) -> int:
         """Size of the shared automaton (for ablation reporting)."""
-        seen = set()
-        stack = [self._root]
-        while stack:
-            state = stack.pop()
-            if id(state) in seen:
-                continue
-            seen.add(id(state))
-            stack.extend(state.edges.values())
-            if state.descendant is not None:
-                stack.append(state.descendant)
-        return len(seen)
+        return self._nfa.state_count()
+
+    def automaton_size(self) -> int:
+        """Alias of :meth:`state_count` (the engine-reporting name)."""
+        return self._nfa.state_count()
 
 
 def _absorb_descendants(active: Dict[int, "_State"]):

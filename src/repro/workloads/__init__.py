@@ -1,16 +1,5 @@
 """Workload generators: XPath query sets and XML document corpora."""
 
-from repro.workloads.sampling import pump_path, sample_dtd_path
-from repro.workloads.xpath_generator import (
-    XPathWorkloadParams,
-    generate_queries,
-    generate_query,
-)
-from repro.workloads.document_generator import (
-    generate_document,
-    generate_documents,
-)
-from repro.workloads.interest import InterestModel, zipf_weights
 from repro.workloads.datasets import (
     Dataset,
     covering_rate,
@@ -19,6 +8,22 @@ from repro.workloads.datasets import (
     psd_queries,
     set_a,
     set_b,
+)
+from repro.workloads.document_generator import (
+    generate_document,
+    generate_documents,
+)
+from repro.workloads.interest import InterestModel, zipf_weights
+from repro.workloads.mass import (
+    MassWorkloadParams,
+    generate_mass_subscriptions,
+    generate_probe_paths,
+)
+from repro.workloads.sampling import pump_path, sample_dtd_path
+from repro.workloads.xpath_generator import (
+    XPathWorkloadParams,
+    generate_queries,
+    generate_query,
 )
 
 __all__ = [
@@ -31,6 +36,9 @@ __all__ = [
     "pump_path",
     "InterestModel",
     "zipf_weights",
+    "MassWorkloadParams",
+    "generate_mass_subscriptions",
+    "generate_probe_paths",
     "Dataset",
     "covering_rate",
     "covering_workload",

@@ -1,12 +1,13 @@
 """Differential test: every matching engine agrees on every workload.
 
-The repo carries four matching engines with one contract —
+The repo carries five matching engines with one contract —
 ``add(expr, key)`` / ``remove(expr, key)`` / ``match(path, attributes)
--> set of keys`` — implemented four very different ways (linear scan,
-covering-tree pruning, counting predicate index, YFilter-style NFA).
-Hypothesis drives DTD-derived XPE workloads with interleaved add and
-remove operations through all four side by side; any disagreement on
-any publication path is a bug in at least one engine.
+-> set of keys`` — implemented five very different ways (linear scan,
+covering-tree pruning, counting predicate index, YFilter-style NFA,
+lazy-DFA shared automaton).  Hypothesis drives DTD-derived XPE
+workloads with interleaved add and remove operations through all five
+side by side; any disagreement on any publication path is a bug in at
+least one engine.
 """
 
 from hypothesis import given, settings, strategies as st
@@ -21,6 +22,7 @@ from repro.dtd.samples import nitf_dtd, psd_dtd
 from repro.matching import (
     LinearMatcher,
     PredicateIndexMatcher,
+    SharedAutomatonMatcher,
     TreeMatcher,
     YFilterMatcher,
 )
@@ -28,7 +30,13 @@ from repro.workloads.xpath_generator import XPathWorkloadParams, generate_querie
 from repro.xpath import parse_xpath
 from repro.xpath.compiled import compile_xpe, set_compiled_enabled
 
-ENGINES = (LinearMatcher, TreeMatcher, PredicateIndexMatcher, YFilterMatcher)
+ENGINES = (
+    LinearMatcher,
+    TreeMatcher,
+    PredicateIndexMatcher,
+    YFilterMatcher,
+    SharedAutomatonMatcher,
+)
 
 DTD = psd_dtd()
 PATHS = enumerate_paths(DTD, max_depth=10)

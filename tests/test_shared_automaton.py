@@ -1,0 +1,406 @@
+"""The shared-automaton mass-subscription engine, unit to overlay level.
+
+Four layers of assurance, mirroring how the engine is deployed:
+
+* unit tests of the engine contract (duplicate keys, versioning, NFA
+  pruning, lazy-DFA caching/invalidation/flush);
+* Hypothesis differentials against :class:`LinearMatcher` and the
+  reference interpreter, attribute predicates included;
+* broker-level equivalence: a ``matching_engine="shared"`` broker makes
+  the same routing decisions as the default one, across merge sweeps
+  and snapshot/restore;
+* the audit oracle's six invariants hold on chaos workloads (fault-free
+  and crash-restart) run entirely on the shared engine.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.adverts import Advertisement
+from repro.broker import (
+    AdvertiseMsg,
+    Broker,
+    PublishMsg,
+    RoutingConfig,
+    SubscribeMsg,
+    UnsubscribeMsg,
+)
+from repro.broker.persistence import restore_json, snapshot_json
+from repro.covering.pathmatch import matches_path_reference
+from repro.matching import LinearMatcher, SharedAutomatonMatcher
+from repro.xmldoc import Publication
+from repro.xpath import parse_xpath
+
+
+def x(text):
+    return parse_xpath(text)
+
+
+def build(*texts):
+    matcher = SharedAutomatonMatcher()
+    for t in texts:
+        matcher.add(x(t), t)
+    return matcher
+
+
+class TestEngineContract:
+    def test_structural_matching(self):
+        m = build("/a/b", "b/c", "/a//d", "//c/d", "/*/b")
+        assert m.match(("a", "b")) == {"/a/b", "/*/b"}
+        assert m.match(("a", "b", "c")) == {"/a/b", "/*/b", "b/c"}
+        assert m.match(("a", "q", "q", "d")) == {"/a//d"}
+        assert m.match(("q", "c", "d")) == {"//c/d"}
+
+    def test_predicates_via_side_index(self):
+        m = SharedAutomatonMatcher()
+        m.add(x("/a/b[@lang='de']"), "pred")
+        m.add(x("/a/b"), "plain")
+        attrs_de = [{}, {"lang": "de"}]
+        attrs_en = [{}, {"lang": "en"}]
+        assert m.match(("a", "b"), attrs_de) == {"pred", "plain"}
+        assert m.match(("a", "b"), attrs_en) == {"plain"}
+        assert m.match(("a", "b")) == {"plain"}
+
+    def test_duplicate_exprs_under_distinct_keys(self):
+        m = SharedAutomatonMatcher()
+        m.add(x("/a/b"), "k1")
+        m.add(x("/a/b"), "k2")
+        assert len(m) == 1  # one resident expression, two keys
+        assert m.match(("a", "b")) == {"k1", "k2"}
+        m.remove(x("/a/b"), "k1")
+        assert m.match(("a", "b")) == {"k2"}
+        m.remove(x("/a/b"), "k2")
+        assert m.match(("a", "b")) == set()
+        assert len(m) == 0
+
+    def test_remove_absent_is_noop(self):
+        m = build("/a")
+        before = m.version
+        m.remove(x("/zzz"), "nobody")
+        m.remove(x("/a"), "wrong-key")
+        assert len(m) == 1
+        assert m.version == before
+
+    def test_version_bumps_on_match_changing_mutations(self):
+        m = SharedAutomatonMatcher()
+        v0 = m.version
+        m.add(x("/a"), "k1")
+        assert m.version == v0 + 1
+        m.add(x("/a"), "k1")  # idempotent: no result can change
+        assert m.version == v0 + 1
+        m.add(x("/a"), "k2")  # new key: match results change
+        assert m.version == v0 + 2
+        m.remove(x("/a"), "k2")
+        assert m.version == v0 + 3
+        m.clear()
+        assert m.version == v0 + 4
+
+    def test_keys_of_and_exprs(self):
+        m = SharedAutomatonMatcher()
+        m.add(x("/a"), "k1")
+        m.add(x("/a"), "k2")
+        m.add(x("/b[@u]"), "k3")
+        assert m.keys_of(x("/a")) == {"k1", "k2"}
+        assert m.keys_of(x("/zzz")) == set()
+        assert {str(e) for e in m.exprs()} == {"/a", "/b[@u]"}
+
+
+class TestPruningAndDFA:
+    def test_churn_returns_automaton_to_baseline(self):
+        m = build("/a/b/c", "/a/b/d", "//q/r")
+        baseline = m.automaton_size()
+        extra = ["/a/b/c/e%d" % i for i in range(10)] + [
+            "//deep//x%d" % i for i in range(10)
+        ]
+        for text in extra:
+            m.add(x(text), text)
+        assert m.automaton_size() > baseline
+        for text in extra:
+            m.remove(x(text), text)
+        assert m.automaton_size() == baseline
+        m._nfa.check_refcounts()
+
+    def test_dfa_caches_and_is_invalidated_by_structure(self):
+        m = build("/a/b", "/a//c")
+        assert m.dfa_size() == 0
+        assert m.match(("a", "b")) == {"/a/b"}
+        assert m.dfa_size() > 0
+        m.add(x("/a/b/z"), "new")  # structural change: cache discarded
+        assert m.dfa_size() == 0
+        assert m.match(("a", "b", "z")) == {"/a/b", "new"}
+
+    def test_predicated_add_keeps_dfa(self):
+        m = build("/a/b")
+        m.match(("a", "b"))
+        cached = m.dfa_size()
+        assert cached > 0
+        m.add(x("/a/b[@u]"), "pred")  # side index only: structure intact
+        assert m.dfa_size() == cached
+
+    def test_dfa_flush_at_limit_preserves_results(self):
+        m = SharedAutomatonMatcher(dfa_state_limit=3)
+        linear = LinearMatcher()
+        for text in ("/a/b", "//b/c", "/a//d", "b"):
+            m.add(x(text), text)
+            linear.add(x(text), text)
+        paths = [
+            ("a", "b"), ("b", "c"), ("a", "q", "d"), ("b",),
+            ("a", "b", "c"), ("q", "b", "c", "d"), ("a", "d"),
+        ]
+        for path in paths * 2:
+            assert m.match(path) == linear.match(path), path
+        assert m.dfa_flushes > 0
+        assert m.dfa_size() <= 3
+
+
+# -- Hypothesis differentials ----------------------------------------------
+
+_step = st.tuples(
+    st.sampled_from(("/", "//", "")),  # "" = relative start (first step only)
+    st.sampled_from(("a", "b", "c", "d", "*")),
+    st.sampled_from(("", "[@k]", "[@k='1']", "[@k!='1']", "[@j='2']")),
+)
+
+
+@st.composite
+def xpe_texts(draw):
+    steps = draw(st.lists(_step, min_size=1, max_size=5))
+    parts = []
+    for index, (sep, test, predicate) in enumerate(steps):
+        if index == 0:
+            sep = sep or ""  # "a/..." is a relative expression
+        else:
+            sep = sep or "/"
+        parts.append(sep + test + predicate)
+    return "".join(parts)
+
+
+@st.composite
+def probes(draw):
+    elements = draw(
+        st.lists(
+            st.sampled_from(("a", "b", "c", "d", "e")),
+            min_size=0,
+            max_size=7,
+        )
+    )
+    attributes = draw(
+        st.one_of(
+            st.none(),
+            st.lists(
+                st.sampled_from(({}, {"k": "1"}, {"k": "2"}, {"j": "2"})),
+                min_size=len(elements),
+                max_size=len(elements),
+            ).map(tuple),
+        )
+    )
+    return tuple(elements), attributes
+
+
+@settings(max_examples=300, deadline=None)
+@given(
+    texts=st.lists(xpe_texts(), min_size=1, max_size=10),
+    removals=st.lists(st.integers(0, 9), max_size=6),
+    probe=probes(),
+)
+def test_differential_vs_linear_under_churn(texts, removals, probe):
+    """Interleaved adds and removes (duplicate expressions included)
+    leave the shared engine agreeing with the linear scan."""
+    path, attributes = probe
+    shared = SharedAutomatonMatcher()
+    linear = LinearMatcher()
+    pool = [(parse_xpath(text), "k%d" % i) for i, text in enumerate(texts)]
+    for expr, key in pool:
+        shared.add(expr, key)
+        linear.add(expr, key)
+    for index in removals:
+        if index < len(pool):
+            expr, key = pool[index]
+            shared.remove(expr, key)
+            linear.remove(expr, key)
+    assert shared.match(path, attributes) == linear.match(path, attributes)
+    shared._nfa.check_refcounts()
+
+
+@settings(max_examples=300, deadline=None)
+@given(text=xpe_texts(), probe=probes())
+def test_differential_vs_reference_interpreter(text, probe):
+    path, attributes = probe
+    expr = parse_xpath(text)
+    m = SharedAutomatonMatcher()
+    m.add(expr, "k")
+    expected = (
+        {"k"} if matches_path_reference(expr, path, attributes) else set()
+    )
+    assert m.match(path, attributes) == expected
+
+
+# -- broker level -----------------------------------------------------------
+
+def _broker_pair():
+    base = RoutingConfig.with_adv_with_cov()
+    import dataclasses
+
+    shared_config = dataclasses.replace(base, matching_engine="shared")
+    auto = Broker("b1", config=base)
+    shared = Broker("b1", config=shared_config)
+    for broker in (auto, shared):
+        broker.connect("n1")
+        broker.connect("n2")
+        broker.attach_client("c1")
+        broker.handle(
+            AdvertiseMsg(
+                adv_id="a1",
+                advert=Advertisement.from_tests(("x", "y", "z", "w")),
+                publisher_id="pub",
+            ),
+            "n1",
+        )
+    return auto, shared
+
+
+def _decisions(broker, path, doc_id):
+    out = broker.handle(
+        PublishMsg(
+            publication=Publication(doc_id=doc_id, path_id=0, path=path),
+            publisher_id="pub",
+        ),
+        "n1",
+    )
+    return sorted(
+        (str(dest), str(msg.publication)) for dest, msg in out
+    )
+
+
+PUBLISH_PATHS = (
+    ("x", "y"),
+    ("x", "y", "z"),
+    ("x", "w"),
+    ("x", "q", "z"),
+    ("x", "y", "w", "z"),
+)
+
+
+def _assert_same_decisions(auto, shared, tag):
+    for index, path in enumerate(PUBLISH_PATHS):
+        doc_id = "%s%d" % (tag, index)
+        assert _decisions(auto, path, doc_id) == _decisions(
+            shared, path, doc_id
+        ), path
+
+
+class TestBrokerIntegration:
+    SUBS = ("/x/y", "/x/y/z", "//z", "/x/*", "x/y", "//w")
+
+    def test_shared_broker_routes_like_default(self):
+        auto, shared = _broker_pair()
+        for index, text in enumerate(self.SUBS):
+            msg = SubscribeMsg(expr=x(text), subscriber_id="c1")
+            for broker in (auto, shared):
+                broker.handle(msg, "n2" if index % 2 else "c1")
+        _assert_same_decisions(auto, shared, "d")
+        # Unsubscribe half and re-check: the mirror tracks retirements.
+        for text in self.SUBS[::2]:
+            msg = UnsubscribeMsg(expr=x(text), subscriber_id="c1")
+            for broker in (auto, shared):
+                broker.handle(msg, "c1")
+        _assert_same_decisions(auto, shared, "u")
+
+    def test_merge_sweep_resyncs_mirror(self):
+        import dataclasses
+
+        from repro.dtd.parser import parse_dtd
+        from repro.merging.engine import PathUniverse
+
+        universe = PathUniverse.from_dtd(
+            parse_dtd(
+                """
+                <!ELEMENT r (a, b)>
+                <!ELEMENT a (c | d | e)>
+                <!ELEMENT b (c?)>
+                <!ELEMENT c (#PCDATA)>
+                <!ELEMENT d (#PCDATA)>
+                <!ELEMENT e (#PCDATA)>
+                """
+            )
+        )
+        base = RoutingConfig.with_adv_with_cov_pm(merge_interval=3)
+        auto = Broker("b1", config=base, universe=universe)
+        shared = Broker(
+            "b1",
+            config=dataclasses.replace(base, matching_engine="shared"),
+            universe=universe,
+        )
+        advert = AdvertiseMsg(
+            adv_id="a1",
+            advert=Advertisement.from_tests(("r", "a", "b", "c", "d", "e")),
+            publisher_id="pub",
+        )
+        for broker in (auto, shared):
+            broker.connect("n1")
+            broker.attach_client("c1")
+            broker.handle(advert, "n1")
+            # The full sibling set under /r/a: the interval-3 sweep
+            # rewrites it to the perfect merger /r/a/*, marking the
+            # shared mirror dirty; the next publication must rebuild
+            # the automaton from the rewritten table and still agree.
+            for text in ("/r/a/c", "/r/a/d", "/r/a/e"):
+                broker.handle(
+                    SubscribeMsg(expr=x(text), subscriber_id="c1"), "c1"
+                )
+        assert shared.merge_log, "sweep never ran — interval misconfigured"
+        assert shared._shared_dirty
+        for index, path in enumerate(
+            (("r", "a", "c"), ("r", "a", "d"), ("r", "b", "c"), ("r", "a"))
+        ):
+            doc_id = "m%d" % index
+            assert _decisions(auto, path, doc_id) == _decisions(
+                shared, path, doc_id
+            ), path
+        assert not shared._shared_dirty  # the publishes above resynced it
+
+    def test_snapshot_restore_round_trip(self):
+        _, shared = _broker_pair()
+        for text in self.SUBS:
+            shared.handle(SubscribeMsg(expr=x(text), subscriber_id="c1"), "c1")
+        shared.handle(
+            PublishMsg(
+                publication=Publication(
+                    doc_id="warm", path_id=0, path=("x", "y")
+                ),
+                publisher_id="pub",
+            ),
+            "n1",
+        )
+        restored = restore_json(snapshot_json(shared))
+        assert restored.config.matching_engine == "shared"
+        assert restored.shared is not None
+        assert restored._shared_dirty  # rebuilt lazily on first publish
+        _assert_same_decisions(shared, restored, "r")
+        assert not restored._shared_dirty
+        assert restored.describe()["shared_automaton"]["exprs"] == len(
+            shared.shared.exprs()
+        )
+
+
+class TestAuditChaos:
+    def _run(self, scenario):
+        from repro.audit import audit_scenarios, run_audited_workload
+
+        plan = audit_scenarios(0)[scenario]
+        _, _, report = run_audited_workload(
+            plan=plan,
+            levels=3,
+            xpes_per_leaf=8,
+            documents=3,
+            matching_engine="shared",
+        )
+        assert report.ok, "%s: %s" % (
+            scenario,
+            report.soundness + report.unexplained_fp,
+        )
+
+    def test_fault_free_audit_on_shared_engine(self):
+        self._run("fault-free")
+
+    def test_crash_restart_audit_on_shared_engine(self):
+        self._run("crash-restart")

@@ -77,6 +77,58 @@ class TestMaintenance:
         assert m.keys_of(x("/a")) == {"k1", "k2"}
 
 
+class TestPruning:
+    """Removal must actually shrink the automaton: dead NFA branches
+    accumulating under subscriber churn was the state leak this class
+    pins down."""
+
+    def test_churn_returns_state_count_to_baseline(self):
+        m = build("/a/b", "/a//c")
+        baseline = m.state_count()
+        extra = ["/a/b/c/d%d" % i for i in range(8)] + [
+            "//x%d//y" % i for i in range(8)
+        ]
+        for text in extra:
+            m.add(x(text), text)
+        grown = m.state_count()
+        assert grown > baseline
+        for text in extra:
+            m.remove(x(text), text)
+        assert m.state_count() == baseline
+        m._nfa.check_refcounts()
+
+    def test_shared_prefix_survives_partial_removal(self):
+        m = build("/a/b/c", "/a/b/d")
+        size_both = m.state_count()
+        m.remove(x("/a/b/c"), "/a/b/c")
+        # Only the unshared tail ("c" edge) is released; /a/b stays.
+        assert m.state_count() == size_both - 1
+        assert m.match(("a", "b", "d")) == {"/a/b/d"}
+        assert m.match(("a", "b", "c")) == set()
+        m._nfa.check_refcounts()
+
+    def test_descendant_state_pruned_with_last_user(self):
+        m = build("/a/b")
+        baseline = m.state_count()
+        m.add(x("/a//z"), "desc")
+        assert m.state_count() > baseline
+        m.remove(x("/a//z"), "desc")
+        assert m.state_count() == baseline
+        assert m.match(("a", "q", "z")) == set()
+        m._nfa.check_refcounts()
+
+    def test_duplicate_keys_keep_trail_alive(self):
+        m = YFilterMatcher()
+        m.add(x("/a/b"), "k1")
+        m.add(x("/a/b"), "k2")
+        size = m.state_count()
+        m.remove(x("/a/b"), "k1")
+        assert m.state_count() == size  # k2 still needs the trail
+        m.remove(x("/a/b"), "k2")
+        assert m.state_count() == 1  # root only
+        m._nfa.check_refcounts()
+
+
 NAMES = st.sampled_from(["a", "b", "c", "*"])
 
 
