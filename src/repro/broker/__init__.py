@@ -15,6 +15,16 @@ from repro.broker.tables import (
     SubscriptionRoutingTable,
 )
 from repro.broker.broker import Broker
+from repro.broker.core import (
+    MERGE_SWEEP_TIMER,
+    BrokerCore,
+    Deliver,
+    Effect,
+    Send,
+    Telemetry,
+    TimerRequest,
+    canonical_effects,
+)
 from repro.broker.persistence import (
     PersistenceError,
     restore,
@@ -36,6 +46,14 @@ __all__ = [
     "SRTEntry",
     "SubscriptionRoutingTable",
     "Broker",
+    "MERGE_SWEEP_TIMER",
+    "BrokerCore",
+    "Deliver",
+    "Effect",
+    "Send",
+    "Telemetry",
+    "TimerRequest",
+    "canonical_effects",
     "PersistenceError",
     "restore",
     "restore_json",

@@ -1,0 +1,232 @@
+"""The runtime-agnostic broker core: message in → effects out.
+
+:class:`BrokerCore` is the pure state-machine face of a
+:class:`~repro.broker.broker.Broker`.  It owns no clock, no queue and
+no I/O: every host — the discrete-event simulator
+(:class:`~repro.network.overlay.Overlay`), the asyncio event-loop
+backend (:mod:`repro.runtime.asyncio_backend`) and the multiprocess
+socket deployment (:mod:`repro.runtime.multiprocess`) — feeds it one
+message at a time and interprets the returned :class:`Effect` list
+however its execution model requires:
+
+* :class:`Send` — forward a message to a neighbouring broker (over a
+  simulated link, an asyncio queue, or a TCP connection),
+* :class:`Deliver` — hand a message to a locally attached client,
+* :class:`TimerRequest` — ask the host to call :meth:`BrokerCore.
+  on_timer` later (the merge-sweep cadence; the core never sleeps),
+* :class:`Telemetry` — a host-visible measurement the core does not
+  interpret (hosts may map these onto their metrics registry).
+
+Determinism contract (pinned by tests/test_broker_core.py): for a fixed
+message sequence the effect list is a pure function of the sequence —
+no wall-clock reads, no iteration-order nondeterminism — and replaying
+the suffix of a sequence on a core restored from a mid-sequence
+snapshot yields byte-identical effects.  That contract is what lets the
+three backends be differentially tested against each other
+(tests/test_runtime_equivalence.py) and what makes crash recovery by
+snapshot replay sound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.broker.broker import Broker
+from repro.broker.messages import Message, PublishMsg
+from repro.broker.strategies import RoutingConfig
+from repro.errors import RoutingError
+
+#: The merge-sweep timer name (the only timer the core requests today).
+MERGE_SWEEP_TIMER = "merge-sweep"
+
+
+@dataclass(frozen=True)
+class Effect:
+    """Base class for everything a core asks its host to do."""
+
+
+@dataclass(frozen=True)
+class Send(Effect):
+    """Forward *message* to the neighbouring broker *destination*."""
+
+    destination: object
+    message: Message
+
+
+@dataclass(frozen=True)
+class Deliver(Effect):
+    """Hand *message* to the locally attached client *client_id*."""
+
+    client_id: object
+    message: Message
+
+
+@dataclass(frozen=True)
+class TimerRequest(Effect):
+    """Ask the host to call :meth:`BrokerCore.on_timer` with *name*
+    after *delay* seconds of the host's own clock (the core has none)."""
+
+    name: str
+    delay: float
+
+
+@dataclass(frozen=True)
+class Telemetry(Effect):
+    """A measurement for the host's metrics pipeline (never routed)."""
+
+    name: str
+    value: float = 1.0
+
+
+class BrokerCore:
+    """One broker as a pure state machine.
+
+    Wraps (or builds) a :class:`Broker` and partitions its outbound
+    ``(destination, message)`` pairs into typed effects, so hosts never
+    need to know which destinations are neighbours and which are local
+    clients.  The wrapped broker is reachable as :attr:`broker` — the
+    simulator's audit oracle and the test suites inspect its tables
+    directly, and that stays true on every backend.
+    """
+
+    def __init__(
+        self,
+        broker_id: Optional[str] = None,
+        config: Optional[RoutingConfig] = None,
+        universe=None,
+        broker: Optional[Broker] = None,
+    ):
+        if broker is None:
+            if broker_id is None:
+                raise RoutingError("BrokerCore needs a broker or a broker_id")
+            broker = Broker(broker_id, config=config, universe=universe)
+        self.broker = broker
+
+    @property
+    def broker_id(self):
+        return self.broker.broker_id
+
+    @property
+    def config(self) -> RoutingConfig:
+        return self.broker.config
+
+    # -- wiring (delegated verbatim) --------------------------------------
+
+    def connect(self, neighbor_id: object):
+        self.broker.connect(neighbor_id)
+
+    def attach_client(self, client_id: object):
+        self.broker.attach_client(client_id)
+
+    # -- the state machine -------------------------------------------------
+
+    def on_message(self, message: Message, from_hop: object) -> List[Effect]:
+        """Process one inbound message; returns the resulting effects."""
+        return self._classify(self.broker.handle(message, from_hop))
+
+    def on_publish_batch(
+        self, messages: List[PublishMsg], from_hop: object
+    ) -> List[Effect]:
+        """Batch counterpart of :meth:`on_message` (publications only)."""
+        return self._classify(
+            self.broker.handle_publish_batch(messages, from_hop)
+        )
+
+    def on_timer(self, name: str) -> List[Effect]:
+        """A host timer fired.  ``merge-sweep`` runs one merging sweep;
+        unknown timer names are a host bug and raise."""
+        if name == MERGE_SWEEP_TIMER:
+            return self._classify(self.broker.run_merge_sweep())
+        raise RoutingError(
+            "broker %r received unknown timer %r" % (self.broker_id, name)
+        )
+
+    def _classify(self, outbound) -> List[Effect]:
+        broker = self.broker
+        effects: List[Effect] = []
+        for destination, message in outbound:
+            if destination in broker.local_clients:
+                effects.append(Deliver(destination, message))
+            elif destination in broker.neighbors:
+                effects.append(Send(destination, message))
+            else:
+                raise RoutingError(
+                    "broker %r emitted message to unknown destination %r"
+                    % (self.broker_id, destination)
+                )
+        return effects
+
+    # -- snapshot / replay -------------------------------------------------
+
+    def snapshot(self) -> Dict:
+        """Plain-data image of the routing state (see
+        :mod:`repro.broker.persistence`)."""
+        from repro.broker.persistence import snapshot
+
+        return snapshot(self.broker)
+
+    @classmethod
+    def restore(cls, state: Dict, universe=None) -> "BrokerCore":
+        """Rebuild a core from :meth:`snapshot` output.  Replaying the
+        message suffix recorded after the snapshot yields the same
+        effects the original core produced (the determinism contract)."""
+        from repro.broker.persistence import restore
+
+        return cls(broker=restore(state, universe=universe))
+
+    def fingerprint(self) -> str:
+        """Stable digest of the routing tables (see
+        :func:`repro.runtime.base.routing_fingerprint`)."""
+        from repro.runtime.base import routing_fingerprint
+
+        return routing_fingerprint(self.broker)
+
+    def describe(self) -> Dict[str, object]:
+        return self.broker.describe()
+
+    def __repr__(self):
+        return "BrokerCore(%r)" % (self.broker,)
+
+
+def canonical_effects(effects: List[Effect]) -> List[tuple]:
+    """A value-comparable form of an effect list.
+
+    ``Message`` equality includes the process-unique ``msg_id``, so two
+    semantically identical effect lists from two cores never compare
+    equal directly.  This renders each effect through the wire encoding
+    (which, like a real network, carries no ``msg_id`` and no trace
+    stamp), giving replay tests an exact-equality target.
+    """
+    from repro.network.wire import message_to_obj
+
+    def message_key(message: Message):
+        obj = message_to_obj(message)
+        obj.pop("trace", None)
+        return _freeze(obj)
+
+    rendered: List[tuple] = []
+    for effect in effects:
+        if isinstance(effect, Send):
+            rendered.append(
+                ("send", str(effect.destination), message_key(effect.message))
+            )
+        elif isinstance(effect, Deliver):
+            rendered.append(
+                ("deliver", str(effect.client_id), message_key(effect.message))
+            )
+        elif isinstance(effect, TimerRequest):
+            rendered.append(("timer", effect.name, effect.delay))
+        elif isinstance(effect, Telemetry):
+            rendered.append(("telemetry", effect.name, effect.value))
+        else:  # pragma: no cover - future effect kinds must opt in
+            raise RoutingError("cannot canonicalise effect %r" % (effect,))
+    return rendered
+
+
+def _freeze(value):
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    return value

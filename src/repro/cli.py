@@ -394,6 +394,156 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_deploy(args) -> int:
+    """Run a seeded workload on a real concurrency backend — the
+    asyncio runtime or the one-process-per-broker socket deployment —
+    and (by default) differentially compare it against the simulator
+    on the same seed: identical delivered sets, clean audit, causally
+    complete traces, and (when the subscription phase is serialized)
+    identical routing fingerprints.  See docs/runtime.md."""
+    import dataclasses
+    import json
+    import os
+
+    from repro.audit.oracle import AuditOracle
+    from repro.runtime.workload import (
+        ADAPTERS,
+        WorkloadSpec,
+        build_plan,
+        run_workload,
+    )
+
+    spec = WorkloadSpec(
+        levels=args.levels,
+        queries_per_leaf=args.queries,
+        documents=args.documents,
+        seed=args.seed,
+        strategy=args.strategy or "with-Adv-with-Cov",
+        matching_engine=args.engine,
+        serialize_subscriptions=not args.no_serialize,
+    )
+    plan = build_plan(spec)
+    broker_count = len(plan.broker_ids)
+    print(
+        "deploy: %d brokers (levels=%d), %d subscriptions, %d documents, "
+        "seed=%d, backend=%s"
+        % (
+            broker_count,
+            spec.levels,
+            sum(len(v) for v in plan.subscriptions.values()),
+            spec.documents,
+            spec.seed,
+            args.backend,
+        )
+    )
+
+    backend_cls = ADAPTERS[args.backend]
+    adapter = (
+        backend_cls(tracing=True)
+        if args.backend == "asyncio"
+        else backend_cls()
+    )
+    auditor = AuditOracle() if args.audit else None
+    result = run_workload(adapter, spec, plan, auditor=auditor)
+    print(
+        "%-12s delivered=%d audit_problems=%d trace_problems=%d"
+        % (
+            result.backend,
+            len(result.delivered),
+            len(result.audit_problems),
+            len(result.trace_problems),
+        )
+    )
+    for key, value in sorted(result.extras.items()):
+        if key != "max_queue_depth":
+            print("  %s: %s" % (key, value))
+
+    problems = []
+    if result.audit_problems:
+        problems.append("audit: %d violations" % len(result.audit_problems))
+    if result.trace_problems:
+        problems.append(
+            "tracing: %d incomplete causal chains" % len(result.trace_problems)
+        )
+
+    reference = None
+    if not args.no_compare:
+        reference = run_workload(
+            ADAPTERS["simulator"](),
+            spec,
+            plan,
+            auditor=AuditOracle() if args.audit else None,
+        )
+        delivered_ok = result.delivered == reference.delivered
+        print(
+            "%-12s delivered=%d  delivered_equal=%s"
+            % (reference.backend, len(reference.delivered), delivered_ok)
+        )
+        if not delivered_ok:
+            problems.append(
+                "delivered sets differ: backend-only=%d simulator-only=%d"
+                % (
+                    len(result.delivered - reference.delivered),
+                    len(reference.delivered - result.delivered),
+                )
+            )
+        if spec.serialize_subscriptions:
+            diverged = sorted(
+                broker_id
+                for broker_id in reference.fingerprints
+                if result.fingerprints.get(broker_id)
+                != reference.fingerprints[broker_id]
+            )
+            print(
+                "fingerprints: %d/%d brokers identical"
+                % (broker_count - len(diverged), broker_count)
+            )
+            if diverged:
+                problems.append(
+                    "routing fingerprints diverge on %d brokers: %s"
+                    % (len(diverged), ", ".join(diverged[:8]))
+                )
+        else:
+            print(
+                "fingerprints: skipped (--no-serialize makes covering "
+                "tables arrival-order-dependent; deliveries still compared)"
+            )
+
+    if args.dump and (problems or args.dump_always):
+        dump = {
+            "spec": dataclasses.asdict(spec),
+            "problems": problems,
+            "backend": {
+                "name": result.backend,
+                "delivered": sorted(map(list, result.delivered)),
+                "fingerprints": result.fingerprints,
+                "audit_problems": result.audit_problems,
+                "trace_problems": result.trace_problems,
+                "extras": {
+                    k: v for k, v in result.extras.items() if k != "network_traffic"
+                },
+            },
+        }
+        if reference is not None:
+            dump["simulator"] = {
+                "delivered": sorted(map(list, reference.delivered)),
+                "fingerprints": reference.fingerprints,
+            }
+        os.makedirs(args.dump, exist_ok=True)
+        path = os.path.join(args.dump, "deploy-diagnostics.json")
+        with open(path, "w") as handle:
+            json.dump(dump, handle, indent=1, default=str)
+        print("diagnostics written to %s" % path)
+
+    if problems:
+        print("deploy FAILED:")
+        for problem in problems:
+            print("  " + problem)
+        return 1
+    print("deploy OK")
+    return 0
+
+
 def cmd_experiments(args) -> int:
     from repro.experiments.__main__ import main as experiments_main
 
@@ -565,6 +715,61 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print the last N flight-ring spans per broker",
     )
     p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser(
+        "deploy",
+        help="run the overlay on a real concurrency backend (asyncio or "
+        "one process per broker over sockets) and differentially "
+        "compare it with the simulator",
+    )
+    p.add_argument(
+        "--backend",
+        choices=("asyncio", "multiprocess"),
+        default="multiprocess",
+    )
+    p.add_argument(
+        "--levels",
+        type=int,
+        default=7,
+        help="broker tree depth (7 = the paper's 127-broker overlay)",
+    )
+    p.add_argument(
+        "--queries", type=int, default=2, help="subscriptions per leaf"
+    )
+    p.add_argument("--documents", type=int, default=1)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--strategy", choices=RoutingConfig.ALL_NAMES)
+    p.add_argument(
+        "--audit",
+        action="store_true",
+        help="attach the routing-state audit oracle to the run",
+    )
+    p.add_argument(
+        "--no-compare",
+        action="store_true",
+        help="skip the simulator reference run",
+    )
+    p.add_argument(
+        "--no-serialize",
+        action="store_true",
+        help="do not quiesce between per-leaf subscription batches; "
+        "faster, but covering tables become arrival-order-dependent so "
+        "fingerprint comparison is skipped",
+    )
+    p.add_argument(
+        "--dump",
+        metavar="DIR",
+        default=None,
+        help="write a JSON diagnostics dump here when the run fails "
+        "(CI artifact)",
+    )
+    p.add_argument(
+        "--dump-always",
+        action="store_true",
+        help="write the diagnostics dump even on success",
+    )
+    _add_engine_option(p)
+    p.set_defaults(fn=cmd_deploy)
 
     p = sub.add_parser("experiments", help="reproduce the paper's tables/figures")
     p.add_argument("--scale", type=float, default=1.0)

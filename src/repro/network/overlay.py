@@ -16,6 +16,14 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro import obs
 from repro.broker.broker import Broker
+from repro.broker.core import (
+    MERGE_SWEEP_TIMER,
+    BrokerCore,
+    Deliver,
+    Send,
+    Telemetry,
+    TimerRequest,
+)
 from repro.broker.messages import AdvertiseMsg, Message, PublishMsg
 from repro.broker.strategies import RoutingConfig
 from repro.errors import RoutingError, TopologyError
@@ -78,6 +86,11 @@ class Overlay:
         self.sim = Simulator()
         self.metrics = metrics if metrics is not None else obs.get_registry()
         self.stats = NetworkStats(registry=self.metrics)
+        #: The runtime-agnostic cores this host drives.  ``brokers``
+        #: keeps exposing the wrapped :class:`Broker` objects — the
+        #: audit oracle and the test suites inspect their tables, and
+        #: that interface is identical on every backend.
+        self.cores: Dict[str, BrokerCore] = {}
         self.brokers: Dict[str, Broker] = {}
         self.links: Set[Tuple[str, str]] = set()
         self.subscribers: Dict[str, SubscriberClient] = {}
@@ -218,7 +231,7 @@ class Overlay:
                 replacement.connect(neighbor)
             for client in old.local_clients:
                 replacement.attach_client(client)
-        self.brokers[broker_id] = replacement
+        self._rebind_broker(broker_id, replacement)
         self._down.discard(broker_id)
         self._transport.reset_links_of(broker_id, resend_outbox=with_state)
         for message, from_hop, hops, parent in self._held_while_down.pop(
@@ -249,11 +262,12 @@ class Overlay:
     def add_broker(self, broker_id: str) -> Broker:
         if broker_id in self.brokers:
             raise TopologyError("duplicate broker id %r" % broker_id)
-        broker = Broker(
+        core = BrokerCore(
             broker_id=broker_id, config=self.config, universe=self.universe
         )
-        self.brokers[broker_id] = broker
-        return broker
+        self.cores[broker_id] = core
+        self.brokers[broker_id] = core.broker
+        return core.broker
 
     def connect(self, a: str, b: str):
         """Create a bidirectional link between two brokers.
@@ -472,11 +486,42 @@ class Overlay:
             raise TopologyError("unknown broker %r" % broker_id)
         if broker_id in self._down:
             return []
-        broker = self.brokers[broker_id]
-        outbound = broker.run_merge_sweep()
+        outbound = self._effect_pairs(
+            broker_id, self.cores[broker_id].on_timer(MERGE_SWEEP_TIMER)
+        )
         for destination, message in outbound:
             self._forward(broker_id, destination, message, 0.0, 1)
         return outbound
+
+    def _effect_pairs(self, broker_id: str, effects) -> List[Tuple[object, Message]]:
+        """Interpret a core's effects under the simulator's execution
+        model: sends and deliveries become ``(destination, message)``
+        pairs for :meth:`_forward` (which models the link), timer
+        requests land on the virtual clock, telemetry lands on the
+        metrics registry."""
+        pairs: List[Tuple[object, Message]] = []
+        for effect in effects:
+            if isinstance(effect, Send):
+                pairs.append((effect.destination, effect.message))
+            elif isinstance(effect, Deliver):
+                pairs.append((effect.client_id, effect.message))
+            elif isinstance(effect, TimerRequest):
+                self.sim.schedule(
+                    effect.delay,
+                    lambda e=effect: self._on_broker_timer(broker_id, e.name),
+                )
+            elif isinstance(effect, Telemetry):
+                if self.metrics.enabled:
+                    self.metrics.counter(effect.name).inc(effect.value)
+        return pairs
+
+    def _on_broker_timer(self, broker_id: str, name: str):
+        if broker_id in self._down:
+            return
+        for destination, message in self._effect_pairs(
+            broker_id, self.cores[broker_id].on_timer(name)
+        ):
+            self._forward(broker_id, destination, message, 0.0, 1)
 
     def transport_deliver(
         self, broker_id: str, message: Message, from_hop: object, hops: int,
@@ -508,7 +553,6 @@ class Overlay:
         self.stats.record_broker_message(broker_id, message.kind)
         for tracer in self._tracers:
             tracer.record(self.sim.now, broker_id, message, from_hop)
-        broker = self.brokers[broker_id]
         tracing = self.tracing
         context = trace_of(message) if tracing is not None else None
         hop_span: Optional[Span] = None
@@ -524,7 +568,9 @@ class Overlay:
             scope = tracing.push_hop(hop_span, self.processing_scale)
         started = time.perf_counter()
         try:
-            outbound = broker.handle(message, from_hop)
+            outbound = self._effect_pairs(
+                broker_id, self.cores[broker_id].on_message(message, from_hop)
+            )
         finally:
             if scope is not None:
                 tracing.pop_hop(scope)
@@ -586,11 +632,13 @@ class Overlay:
             self.stats.record_broker_message(broker_id, message.kind)
             for tracer in self._tracers:
                 tracer.record(self.sim.now, broker_id, message, from_hop)
-        broker = self.brokers[broker_id]
         tracing = self.tracing
         now = self.sim.now
         started = time.perf_counter()
-        outbound = broker.handle_publish_batch(messages, from_hop)
+        outbound = self._effect_pairs(
+            broker_id,
+            self.cores[broker_id].on_publish_batch(messages, from_hop),
+        )
         elapsed = time.perf_counter() - started
         metrics = self.metrics
         if metrics.enabled:
@@ -858,8 +906,13 @@ class Overlay:
                 replacement.connect(neighbor)
             for client in old.local_clients:
                 replacement.attach_client(client)
-        self.brokers[broker_id] = replacement
+        self._rebind_broker(broker_id, replacement)
         return replacement
+
+    def _rebind_broker(self, broker_id: str, replacement: Broker):
+        """Swap in a restored/replacement broker, re-wrapping its core."""
+        self.cores[broker_id] = BrokerCore(broker=replacement)
+        self.brokers[broker_id] = replacement
 
     def describe(self) -> Dict[str, object]:
         """Topology plus per-broker summaries (CLI / debugging)."""

@@ -56,6 +56,7 @@ from repro.network.wire import (
     encode_data_frame,
 )
 from repro.obs.tracing import mint_context, stamp, trace_of
+from repro.runtime.base import scaled
 
 
 class _Connection:
@@ -99,6 +100,13 @@ class _Connection:
         #: seq -> [payload, attempts, resend-deadline (monotonic)]
         self._unacked: Dict[int, list] = {}
         self._delivered_seqs: Set[int] = set()
+        #: Data frames acked but whose dispatch has not returned yet.
+        #: The ack races ahead of the routing work it acknowledges, so a
+        #: quiescence probe that only watches unacked counts can declare
+        #: the network idle while a handler is still running — this
+        #: counter closes that window (incremented before the ack is
+        #: transmitted, decremented when the handler returns).
+        self._inflight_rx = 0
         self.stats: Dict[str, int] = {
             "sent": 0, "retransmits": 0, "dup_suppressed": 0,
             "acks": 0, "abandoned": 0, "injected_drops": 0,
@@ -164,6 +172,13 @@ class _Connection:
         with self._state_lock:
             return len(self._unacked)
 
+    def pending_count(self) -> int:
+        """Frames whose reliable exchange is incomplete from this
+        connection's point of view: sent-but-unacked plus
+        received-and-acked-but-not-yet-dispatched."""
+        with self._state_lock:
+            return len(self._unacked) + self._inflight_rx
+
     def close(self):
         self._closed.set()
         try:
@@ -198,16 +213,27 @@ class _Connection:
             # Ack first (even duplicates: their first ack may be the
             # one that got lost), deliver once.  The ack echoes the data
             # frame's trace id so both directions of a reliable exchange
-            # are attributable to the same causal trace.
+            # are attributable to the same causal trace.  The inflight
+            # counter goes up before the ack leaves: by the time the
+            # sender sees its unacked count drop, this side already
+            # advertises the pending dispatch, so a cross-node
+            # quiescence probe can never observe "all idle" with the
+            # handler still to run.
             self.stats["acks"] += 1
-            self._transmit(encode_ack_frame(frame.seq, trace_id=frame.trace_id))
             with self._state_lock:
-                if frame.seq in self._delivered_seqs:
-                    self.stats["dup_suppressed"] += 1
-                    obs.inc("broker.dup_suppressed")
-                    return
-                self._delivered_seqs.add(frame.seq)
-            self._on_message(self.peer_name, frame.message)
+                self._inflight_rx += 1
+            self._transmit(encode_ack_frame(frame.seq, trace_id=frame.trace_id))
+            try:
+                with self._state_lock:
+                    if frame.seq in self._delivered_seqs:
+                        self.stats["dup_suppressed"] += 1
+                        obs.inc("broker.dup_suppressed")
+                        return
+                    self._delivered_seqs.add(frame.seq)
+                self._on_message(self.peer_name, frame.message)
+            finally:
+                with self._state_lock:
+                    self._inflight_rx -= 1
             return
         # raw legacy frame: deliver as-is (no reliability contract)
         self._on_message(self.peer_name, frame.message)
@@ -249,6 +275,14 @@ class SocketBrokerNode:
         )
         self._stopping = threading.Event()
         self.delivered: List[Tuple[str, Message]] = []
+        #: With ``record_hops`` every handled message appends
+        #: ``(trace_id, kind, from_hop, detail)`` — the per-process
+        #: evidence the multiprocess deployment assembles into causal-
+        #: completeness checks (a parent cannot see a child process's
+        #: TraceRecorder).  *detail* is the XPE or advertisement id, so
+        #: a divergence between deployments can be replayed exactly.
+        self.record_hops = False
+        self.hop_log: List[Tuple[Optional[str], str, str, Optional[str]]] = []
 
     def _drop_send(self, _payload: bytes) -> bool:
         if self.loss_rate <= 0.0:
@@ -275,6 +309,13 @@ class SocketBrokerNode:
                 totals[key] = totals.get(key, 0) + value
         return totals
 
+    def pending_count(self) -> int:
+        """Incomplete reliable exchanges across this node's links —
+        zero on every node is the transport half of quiescence."""
+        with self._lock:
+            connections = list(self._connections.values())
+        return sum(connection.pending_count() for connection in connections)
+
     # -- lifecycle ---------------------------------------------------------
 
     def start(self):
@@ -291,14 +332,20 @@ class SocketBrokerNode:
     # -- wiring --------------------------------------------------------------
 
     def connect_to(self, peer: "SocketBrokerNode"):
-        """Dial a neighbouring broker (the passive side learns our name
-        via the handshake line)."""
-        sock = socket.create_connection((peer.host, peer.port))
+        """Dial a neighbouring in-process node (the passive side learns
+        our name via the handshake line)."""
+        self.dial(peer.broker_id, peer.host, peer.port)
+
+    def dial(self, peer_id: str, host: str, port: int):
+        """Dial a neighbouring broker by address — the form the
+        multiprocess deployment uses, where the peer node object lives
+        in another OS process and only its listen address is known."""
+        sock = socket.create_connection((host, port))
         sock.sendall(("HELLO %s\n" % self.broker_id).encode("ascii"))
-        connection = self._make_connection(sock, peer.broker_id)
+        connection = self._make_connection(sock, peer_id)
         with self._lock:
-            self._connections[peer.broker_id] = connection
-            self.broker.connect(peer.broker_id)
+            self._connections[peer_id] = connection
+            self.broker.connect(peer_id)
         connection.start()
 
     def attach_local_client(self, client_id: str, deliver):
@@ -352,6 +399,16 @@ class SocketBrokerNode:
 
     def _on_message(self, from_hop: str, message: Message):
         with self._lock:
+            if self.record_hops:
+                context = trace_of(message)
+                detail = getattr(message, "expr", None)
+                if detail is None:
+                    detail = getattr(message, "adv_id", None)
+                self.hop_log.append((
+                    context.trace_id if context is not None else None,
+                    message.kind, str(from_hop),
+                    str(detail) if detail is not None else None,
+                ))
             outbound = self.broker.handle(message, from_hop)
             sinks = getattr(self, "_client_sinks", {})
             for destination, out_msg in outbound:
@@ -417,6 +474,7 @@ class LocalDeployment:
         self._links.add((a, b))
 
     def start(self, handshake_timeout: float = 5.0):
+        handshake_timeout = scaled(handshake_timeout)
         for node in self.nodes.values():
             node.start()
         for a, b in sorted(self._links):
@@ -459,17 +517,15 @@ class LocalDeployment:
     def settle(self, timeout: float = 1.0):
         """Crude quiescence wait for tests: sleep-poll until no node has
         handled a new message — and no frame is awaiting an ack — for a
-        short grace period."""
+        short grace period.  *timeout* is in unscaled seconds —
+        ``REPRO_TEST_TIMEOUT_SCALE`` multiplies every deadline here."""
+        timeout = scaled(timeout)
 
         def totals():
             handled = tuple(
                 sum(node.broker.stats.values()) for node in self.nodes.values()
             )
-            pending = sum(
-                connection.unacked_count()
-                for node in self.nodes.values()
-                for connection in list(node._connections.values())
-            )
+            pending = sum(node.pending_count() for node in self.nodes.values())
             return handled, pending
 
         deadline = time.time() + timeout
@@ -481,7 +537,7 @@ class LocalDeployment:
             if current != last:
                 last = current
                 stable_since = time.time()
-            elif current[1] == 0 and time.time() - stable_since > 0.1:
+            elif current[1] == 0 and time.time() - stable_since > scaled(0.1):
                 return True
         return False
 

@@ -1,0 +1,31 @@
+"""Real execution backends for the runtime-agnostic broker core.
+
+The discrete-event simulator (:mod:`repro.network.overlay`) is one host
+of :class:`repro.broker.core.BrokerCore`; this package adds two more:
+
+* :mod:`repro.runtime.asyncio_backend` — every broker is an asyncio
+  actor with bounded per-link send queues (real backpressure, graceful
+  drain/shutdown) inside one process,
+* :mod:`repro.runtime.multiprocess` — one OS process per broker,
+  speaking :mod:`repro.network.wire` frames over real TCP sockets via
+  :mod:`repro.network.sockets`; this is the deployment that runs the
+  paper's 127-broker Table 3 overlay on one machine (``repro deploy``).
+
+:mod:`repro.runtime.workload` drives the same seeded workload through
+any backend, which is how tests/test_runtime_equivalence.py proves the
+three executions are observationally identical.
+"""
+
+from repro.runtime.base import (
+    binary_tree_topology,
+    routing_fingerprint,
+    scaled,
+    timeout_scale,
+)
+
+__all__ = [
+    "binary_tree_topology",
+    "routing_fingerprint",
+    "scaled",
+    "timeout_scale",
+]

@@ -1,0 +1,521 @@
+"""One OS process per broker: the real-deployment backend.
+
+Each broker runs a :class:`~repro.network.sockets.SocketBrokerNode` in
+its own ``multiprocessing`` child, listening on a real TCP port and
+speaking :mod:`repro.network.wire` frames (sequence numbers, acks,
+retransmission — the full reliable transport) to its neighbours.  The
+parent keeps one control pipe per child and drives it with a tiny
+command protocol: connect-to-peer, attach-client, submit, probe for
+quiescence, drain buffered deliveries, snapshot / fingerprint the
+routing tables, report hop logs and transport stats, stop.
+
+This is the backend that runs the paper's Table 3 overlay — 127 broker
+processes in a complete binary tree — on one machine (``repro
+deploy``).  Everything observable crosses a process boundary, so:
+
+* delivered documents come back as wire objects and are deduplicated
+  parent-side exactly like a subscriber client would;
+* the audit oracle runs against brokers *restored from persistence
+  snapshots* shipped over the pipes (:meth:`MultiprocessDeployment.
+  audit_view`);
+* causal tracing cannot share a recorder across processes, so each
+  child keeps a hop log of ``(trace_id, kind, from_hop)`` and
+  :meth:`MultiprocessDeployment.verify_hop_traces` checks that every
+  delivered publication's trace is visible at every broker on its
+  routing path — the cross-process causal-completeness statement.
+
+Every deadline is scaled by ``REPRO_TEST_TIMEOUT_SCALE`` (see
+:mod:`repro.runtime.base`).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro import obs
+from repro.broker.messages import Message, PublishMsg
+from repro.broker.strategies import RoutingConfig
+from repro.errors import RoutingError, TopologyError
+from repro.network.wire import message_from_obj, message_to_obj
+from repro.obs.tracing import mint_context, stamp, trace_of
+from repro.runtime.base import routing_fingerprint, scaled
+
+
+def _broker_worker(conn, broker_id: str, config, record_hops: bool, rto: float):
+    """Child-process main: host one socket broker, obey the pipe."""
+    # Imported here as well so a ``spawn`` child resolves everything in
+    # its own interpreter (under ``fork`` these are already loaded).
+    from repro.broker.persistence import snapshot
+    from repro.network.sockets import SocketBrokerNode
+
+    node = SocketBrokerNode(broker_id, config=config, port=0, rto=rto)
+    node.record_hops = record_hops
+    node.start()
+    delivered: List[Tuple[str, dict]] = []
+    conn.send(("ready", node.host, node.port))
+    while True:
+        try:
+            request = conn.recv()
+        except (EOFError, OSError):
+            break
+        command, args = request[0], request[1:]
+        try:
+            if command == "connect":
+                peer_id, host, port = args
+                node.dial(peer_id, host, port)
+                reply = None
+            elif command == "neighbors":
+                reply = sorted(map(str, node.broker.neighbors))
+            elif command == "attach":
+                (client_id,) = args
+
+                def sink(message, client_id=client_id):
+                    delivered.append((client_id, message_to_obj(message)))
+
+                node.attach_local_client(client_id, sink)
+                reply = None
+            elif command == "submit":
+                client_id, obj = args
+                node.submit_local(client_id, message_from_obj(obj))
+                reply = None
+            elif command == "probe":
+                handled = sum(node.broker.stats.values())
+                reply = (handled, node.pending_count(), len(delivered))
+            elif command == "drain_deliveries":
+                reply, delivered = delivered, []
+            elif command == "fingerprint":
+                reply = routing_fingerprint(node.broker)
+            elif command == "snapshot":
+                reply = snapshot(node.broker)
+            elif command == "hops":
+                reply = list(node.hop_log)
+            elif command == "transport_stats":
+                reply = node.transport_stats()
+            elif command == "stop":
+                node.stop()
+                conn.send(("ok", None))
+                break
+            else:
+                raise RoutingError("unknown deployment command %r" % command)
+            conn.send(("ok", reply))
+        except Exception:
+            conn.send(("err", traceback.format_exc()))
+    conn.close()
+
+
+class _MpClient:
+    """Parent-side record of one attached client."""
+
+    def __init__(self, client_id: str, broker_id: str):
+        self.client_id = client_id
+        self.broker_id = broker_id
+        self.received: List[Message] = []
+        self._seen: Set[Tuple[str, int]] = set()
+        self.duplicates = 0
+
+    def accept(self, message: Message) -> bool:
+        """Parent-side duplicate filter, mirroring
+        :meth:`SubscriberClient.receive`."""
+        if isinstance(message, PublishMsg):
+            key = (message.publication.doc_id, message.publication.path_id)
+            if key in self._seen:
+                self.duplicates += 1
+                return False
+            self._seen.add(key)
+        self.received.append(message)
+        return True
+
+    def delivered_documents(self) -> Set[str]:
+        return {
+            msg.publication.doc_id
+            for msg in self.received
+            if isinstance(msg, PublishMsg)
+        }
+
+
+class _StoppedClock:
+    now = 0.0
+
+
+class _AuditView:
+    """The overlay facade the audit oracle binds to.
+
+    ``brokers`` holds parent-side replicas restored from each child's
+    persistence snapshot; :meth:`run` (the oracle's drain hook) settles
+    the deployment, folds buffered deliveries into the oracle, and
+    refreshes the replicas so the check always sees quiescent state.
+    """
+
+    def __init__(self, deployment: "MultiprocessDeployment"):
+        self._deployment = deployment
+        self.config = deployment.config
+        self.universe = deployment.universe
+        self.links = deployment.links
+        self.metrics = deployment.metrics
+        self.publishers = deployment.publishers
+        self._client_home = deployment._client_home
+        self.brokers = {}
+        self.sim = _StoppedClock()
+        self.tracing = None
+
+    def run(self):
+        self._deployment.settle()
+        self._deployment.drain_deliveries()
+        self.brokers = self._deployment.restore_brokers()
+
+    def is_down(self, _broker_id) -> bool:
+        return False
+
+
+class MultiprocessDeployment:
+    """A real multi-process broker overlay on localhost.
+
+    Drive it like the other backends: ``add_broker`` / ``link`` /
+    ``start`` / ``attach_*`` / ``submit`` / ``settle`` — then read
+    ``subscribers[..].received``, :meth:`fingerprints` and
+    :meth:`audit_view`.  Always :meth:`stop` (or use ``with``).
+    """
+
+    def __init__(
+        self,
+        config: Optional[RoutingConfig] = None,
+        universe=None,
+        record_hops: bool = False,
+        rto: float = 0.05,
+        start_method: Optional[str] = None,
+    ):
+        self.config = config if config is not None else RoutingConfig.full()
+        self.universe = universe
+        self.record_hops = record_hops
+        self.rto = rto
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        self._ctx = multiprocessing.get_context(start_method)
+        self.broker_ids: List[str] = []
+        self.links: Set[Tuple[str, str]] = set()
+        self.metrics = obs.get_registry()
+        self.publishers: Dict[str, _MpClient] = {}
+        self.subscribers: Dict[str, _MpClient] = {}
+        self._client_home: Dict[str, str] = {}
+        self._auditors = []
+        self._procs: Dict[str, multiprocessing.Process] = {}
+        self._pipes: Dict[str, object] = {}
+        self._addresses: Dict[str, Tuple[str, int]] = {}
+        #: (subscriber, doc_id, path_id) -> trace id, from drained
+        #: deliveries (used by :meth:`verify_hop_traces`).
+        self._delivery_traces: Dict[Tuple[str, str, int], Optional[str]] = {}
+        self._started = False
+
+    # -- topology ---------------------------------------------------------
+
+    def add_broker(self, broker_id: str):
+        if self._started:
+            raise TopologyError("add brokers before start()")
+        if broker_id in self.broker_ids:
+            raise TopologyError("duplicate broker id %r" % broker_id)
+        self.broker_ids.append(broker_id)
+
+    def link(self, a: str, b: str):
+        for broker_id in (a, b):
+            if broker_id not in self.broker_ids:
+                raise TopologyError("unknown broker %r" % broker_id)
+        self.links.add((a, b))
+
+    def start(self, timeout: float = 30.0):
+        """Spawn every broker process, wire every link, and wait for
+        all handshakes to finish."""
+        self._started = True
+        deadline = time.time() + scaled(timeout)
+        for broker_id in self.broker_ids:
+            parent_conn, child_conn = self._ctx.Pipe()
+            process = self._ctx.Process(
+                target=_broker_worker,
+                args=(
+                    child_conn, broker_id, self.config,
+                    self.record_hops, self.rto,
+                ),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self._procs[broker_id] = process
+            self._pipes[broker_id] = parent_conn
+        for broker_id in self.broker_ids:
+            pipe = self._pipes[broker_id]
+            if not pipe.poll(max(deadline - time.time(), 0.01)):
+                raise RoutingError(
+                    "broker process %r did not come up" % broker_id
+                )
+            tag, host, port = pipe.recv()
+            if tag != "ready":
+                raise RoutingError(
+                    "broker process %r failed to start: %r" % (broker_id, host)
+                )
+            self._addresses[broker_id] = (host, port)
+        for a, b in sorted(self.links):
+            host, port = self._addresses[b]
+            self._rpc(a, "connect", b, host, port)
+        # The dialing side is wired synchronously; the passive side
+        # registers the neighbour in its handshake thread — poll until
+        # every broker knows every neighbour the topology gives it.
+        expected: Dict[str, Set[str]] = {b: set() for b in self.broker_ids}
+        for a, b in self.links:
+            expected[a].add(b)
+            expected[b].add(a)
+        for broker_id in self.broker_ids:
+            while True:
+                known = set(self._rpc(broker_id, "neighbors"))
+                if expected[broker_id] <= known:
+                    break
+                if time.time() > deadline:
+                    raise RoutingError(
+                        "broker %r finished handshakes with %r, expected %r"
+                        % (broker_id, sorted(known),
+                           sorted(expected[broker_id]))
+                    )
+                time.sleep(0.005)
+
+    def stop(self):
+        """Graceful shutdown: ask every child to stop, then reap."""
+        for broker_id, pipe in self._pipes.items():
+            try:
+                pipe.send(("stop",))
+            except (OSError, BrokenPipeError):
+                pass
+        for broker_id, process in self._procs.items():
+            process.join(timeout=scaled(5.0))
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=scaled(5.0))
+        for pipe in self._pipes.values():
+            try:
+                pipe.close()
+            except OSError:
+                pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *_exc):
+        self.stop()
+
+    # -- control-pipe RPC --------------------------------------------------
+
+    def _rpc(self, broker_id: str, command: str, *args, timeout: float = 30.0):
+        pipe = self._pipes[broker_id]
+        pipe.send((command,) + args)
+        if not pipe.poll(scaled(timeout)):
+            raise RoutingError(
+                "broker process %r did not answer %r within %.1fs"
+                % (broker_id, command, scaled(timeout))
+            )
+        status, payload = pipe.recv()
+        if status != "ok":
+            raise RoutingError(
+                "broker process %r failed %r:\n%s"
+                % (broker_id, command, payload)
+            )
+        return payload
+
+    # -- clients ----------------------------------------------------------
+
+    def attach_publisher(self, client_id: str, broker_id: str) -> _MpClient:
+        client = self._attach(client_id, broker_id)
+        self.publishers[client_id] = client
+        return client
+
+    def attach_subscriber(self, client_id: str, broker_id: str) -> _MpClient:
+        client = self._attach(client_id, broker_id)
+        self.subscribers[client_id] = client
+        return client
+
+    def _attach(self, client_id: str, broker_id: str) -> _MpClient:
+        if client_id in self._client_home:
+            raise TopologyError("duplicate client id %r" % client_id)
+        self._rpc(broker_id, "attach", client_id)
+        self._client_home[client_id] = broker_id
+        return _MpClient(client_id, broker_id)
+
+    def submit(self, client_id: str, message: Message):
+        """Ship one client message to its edge broker's process.
+
+        A fresh trace context is minted parent-side (unless the message
+        already carries one) and rides the wire object, so the hop logs
+        of every process the message crosses name the same trace.
+        """
+        broker_id = self._client_home.get(client_id)
+        if broker_id is None:
+            raise RoutingError("unknown client %r" % client_id)
+        if trace_of(message) is None:
+            stamp(message, mint_context())
+        for auditor in self._auditors:
+            auditor.observe_submit(client_id, message)
+        self._rpc(broker_id, "submit", client_id, message_to_obj(message))
+
+    # -- quiescence and observation ---------------------------------------
+
+    def settle(self, timeout: float = 30.0) -> bool:
+        """Poll every process until no broker handles a new message —
+        and no frame awaits an ack — for a short grace period."""
+
+        def totals():
+            handled, pending = [], 0
+            for broker_id in self.broker_ids:
+                h, p, d = self._rpc(broker_id, "probe")
+                handled.append((h, d))
+                pending += p
+            return tuple(handled), pending
+
+        deadline = time.time() + scaled(timeout)
+        # The probe's pending count covers both halves of a reliable
+        # exchange (sent-but-unacked and acked-but-not-dispatched, see
+        # _Connection), so a frame can never hide between an ack and its
+        # dispatch; the grace only has to outlast the probe's own
+        # cross-process snapshot skew.
+        grace = scaled(0.05)
+        last, pending = totals()
+        stable_since = time.time()
+        while time.time() < deadline:
+            time.sleep(0.02)
+            current, pending = totals()
+            if current != last:
+                last = current
+                stable_since = time.time()
+            elif pending == 0 and time.time() - stable_since > grace:
+                return True
+        return False
+
+    def drain_deliveries(self) -> int:
+        """Pull buffered deliveries out of every child, deduplicate
+        them per subscriber, and feed fresh ones to the auditors.
+        Returns the number of fresh deliveries folded in."""
+        fresh = 0
+        for broker_id in self.broker_ids:
+            for client_id, obj in self._rpc(broker_id, "drain_deliveries"):
+                message = message_from_obj(obj)
+                client = self.subscribers.get(client_id)
+                if client is None or not client.accept(message):
+                    continue
+                fresh += 1
+                if isinstance(message, PublishMsg):
+                    context = trace_of(message)
+                    self._delivery_traces[(
+                        client_id,
+                        message.publication.doc_id,
+                        message.publication.path_id,
+                    )] = context.trace_id if context is not None else None
+                    for auditor in self._auditors:
+                        auditor.observe_delivery(client_id, message)
+        return fresh
+
+    def fingerprints(self) -> Dict[str, str]:
+        return {
+            broker_id: self._rpc(broker_id, "fingerprint")
+            for broker_id in self.broker_ids
+        }
+
+    def restore_brokers(self) -> Dict[str, object]:
+        """Parent-side broker replicas from the children's persistence
+        snapshots (what the audit oracle inspects)."""
+        from repro.broker.persistence import restore
+
+        return {
+            broker_id: restore(
+                self._rpc(broker_id, "snapshot"), universe=self.universe
+            )
+            for broker_id in self.broker_ids
+        }
+
+    def transport_stats(self) -> Dict[str, int]:
+        totals: Dict[str, int] = {}
+        for broker_id in self.broker_ids:
+            for key, value in self._rpc(broker_id, "transport_stats").items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    def delivered_map(self) -> Dict[str, Set[str]]:
+        return {
+            client_id: client.delivered_documents()
+            for client_id, client in self.subscribers.items()
+        }
+
+    # -- audit and tracing -------------------------------------------------
+
+    def attach_auditor(self, auditor) -> "_AuditView":
+        """Bind *auditor* to this deployment via an overlay facade; the
+        oracle then observes submits/deliveries as usual and checks
+        routing state restored from the children's snapshots."""
+        view = _AuditView(self)
+        self._auditors.append(auditor)
+        auditor.bind(view)
+        return view
+
+    def verify_hop_traces(self) -> List[str]:
+        """Cross-process causal completeness: every delivered
+        publication's trace id must appear in the hop log of **every**
+        broker on the unique tree path from the publisher's edge broker
+        to the subscriber's.  Requires ``record_hops=True``; returns
+        human-readable problems (empty = causally complete)."""
+        if not self.record_hops:
+            return ["hop recording is off (record_hops=False)"]
+        hop_traces: Dict[str, Set[Optional[str]]] = {}
+        for broker_id in self.broker_ids:
+            hop_traces[broker_id] = {
+                entry[0] for entry in self._rpc(broker_id, "hops")
+            }
+        adjacency: Dict[str, List[str]] = {b: [] for b in self.broker_ids}
+        for a, b in self.links:
+            adjacency[a].append(b)
+            adjacency[b].append(a)
+        problems: List[str] = []
+        for (client_id, doc_id, path_id), trace_id in sorted(
+            self._delivery_traces.items(), key=str
+        ):
+            if trace_id is None:
+                problems.append(
+                    "delivery %s/%s#%d carried no trace context"
+                    % (client_id, doc_id, path_id)
+                )
+                continue
+            home = self._client_home[client_id]
+            publisher_homes = {
+                self._client_home[p] for p in self.publishers
+            }
+            path = self._tree_path(adjacency, home, publisher_homes)
+            for broker_id in path:
+                if trace_id not in hop_traces[broker_id]:
+                    problems.append(
+                        "delivery %s/%s#%d: trace %s missing from hop log "
+                        "of %s" % (client_id, doc_id, path_id, trace_id,
+                                   broker_id)
+                    )
+        return problems
+
+    @staticmethod
+    def _tree_path(
+        adjacency: Dict[str, List[str]], start: str, goals: Set[str]
+    ) -> List[str]:
+        """BFS path from *start* to the nearest goal broker (trees have
+        exactly one simple path)."""
+        parents: Dict[str, Optional[str]] = {start: None}
+        frontier = [start]
+        while frontier:
+            nxt: List[str] = []
+            for node in frontier:
+                if node in goals:
+                    path = []
+                    cursor: Optional[str] = node
+                    while cursor is not None:
+                        path.append(cursor)
+                        cursor = parents[cursor]
+                    return path
+                for neighbor in adjacency[node]:
+                    if neighbor not in parents:
+                        parents[neighbor] = node
+                        nxt.append(neighbor)
+            frontier = nxt
+        return [start]

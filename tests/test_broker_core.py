@@ -1,0 +1,191 @@
+"""Stateful fuzzing of the runtime-agnostic BrokerCore.
+
+Hypothesis drives an arbitrary message sequence (advertise, subscribe,
+unsubscribe, publish, merge sweeps, duplicates included) into one
+:class:`~repro.broker.core.BrokerCore` and checks the state-machine
+contract every backend relies on after every step:
+
+* effects are *deterministic and replayable*: a twin core restored from
+  the pre-step snapshot produces byte-identical canonical effects for
+  the same input, and lands on the same routing fingerprint;
+* effects are *well-classified*: Send targets are neighbours, Deliver
+  targets are attached clients, nothing else comes out;
+* the snapshot/restore round trip preserves the fingerprint.
+"""
+
+from hypothesis import settings, strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.adverts.model import Advertisement
+from repro.broker.core import (
+    MERGE_SWEEP_TIMER,
+    BrokerCore,
+    Deliver,
+    Send,
+    canonical_effects,
+)
+from repro.broker.messages import (
+    AdvertiseMsg,
+    PublishMsg,
+    SubscribeMsg,
+    UnsubscribeMsg,
+)
+from repro.broker.strategies import RoutingConfig
+from repro.xmldoc import Publication
+from repro.xpath.ast import Axis, Step, XPathExpr
+
+NEIGHBORS = ["n1", "n2", "n3"]
+CLIENTS = ["c1", "c2"]
+HOPS = NEIGHBORS + CLIENTS
+NAMES = ["a", "b", "c", "*"]
+
+
+@st.composite
+def exprs(draw):
+    n = draw(st.integers(1, 4))
+    rooted = draw(st.booleans())
+    steps = []
+    for i in range(n):
+        axis = (
+            Axis.CHILD
+            if (i == 0 and rooted)
+            else draw(st.sampled_from([Axis.CHILD, Axis.DESCENDANT]))
+        )
+        steps.append(Step(axis, draw(st.sampled_from(NAMES))))
+    return XPathExpr(steps=tuple(steps), rooted=rooted)
+
+
+@st.composite
+def adverts(draw):
+    tests = draw(
+        st.lists(st.sampled_from(["a", "b", "c"]), min_size=1, max_size=4)
+    )
+    return Advertisement.from_tests(tests)
+
+
+def _fresh_core() -> BrokerCore:
+    core = BrokerCore(
+        "bX", config=RoutingConfig.with_adv_with_cov_ipm(merge_interval=5)
+    )
+    for neighbor in NEIGHBORS:
+        core.connect(neighbor)
+    for client in CLIENTS:
+        core.attach_client(client)
+    return core
+
+
+class BrokerCoreMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.core = _fresh_core()
+        self.adv_serial = 0
+
+    def _step(self, message, from_hop):
+        """Apply one message to the live core AND to a twin restored
+        from the pre-step snapshot; their effects and resulting
+        fingerprints must agree exactly."""
+        before = self.core.snapshot()
+        effects = self.core.on_message(message, from_hop)
+
+        twin = BrokerCore.restore(before)
+        twin_effects = twin.on_message(message, from_hop)
+        assert canonical_effects(twin_effects) == canonical_effects(effects)
+        assert twin.fingerprint() == self.core.fingerprint()
+
+        for effect in effects:
+            if isinstance(effect, Send):
+                assert effect.destination in NEIGHBORS, effect
+            elif isinstance(effect, Deliver):
+                assert effect.client_id in CLIENTS, effect
+        return effects
+
+    @rule(advert=adverts(), from_hop=st.sampled_from(HOPS))
+    def advertise(self, advert, from_hop):
+        self.adv_serial += 1
+        self._step(
+            AdvertiseMsg(
+                adv_id="adv%d" % self.adv_serial,
+                advert=advert,
+                publisher_id="p",
+            ),
+            from_hop,
+        )
+
+    @rule(expr=exprs(), from_hop=st.sampled_from(HOPS))
+    def subscribe(self, expr, from_hop):
+        self._step(SubscribeMsg(expr=expr, subscriber_id="s"), from_hop)
+
+    @rule(expr=exprs(), from_hop=st.sampled_from(HOPS))
+    def unsubscribe(self, expr, from_hop):
+        self._step(UnsubscribeMsg(expr=expr), from_hop)
+
+    @rule(
+        path=st.lists(st.sampled_from(["a", "b", "c"]), min_size=1, max_size=4),
+        from_hop=st.sampled_from(HOPS),
+    )
+    def publish(self, path, from_hop):
+        self._step(
+            PublishMsg(
+                publication=Publication(
+                    doc_id="d", path_id=0, path=tuple(path)
+                ),
+                publisher_id="p",
+            ),
+            from_hop,
+        )
+
+    @rule()
+    def merge_sweep(self):
+        before = self.core.snapshot()
+        effects = self.core.on_timer(MERGE_SWEEP_TIMER)
+        twin = BrokerCore.restore(before)
+        assert canonical_effects(twin.on_timer(MERGE_SWEEP_TIMER)) \
+            == canonical_effects(effects)
+        assert twin.fingerprint() == self.core.fingerprint()
+
+    @invariant()
+    def snapshot_round_trip_preserves_fingerprint(self):
+        assert BrokerCore.restore(self.core.snapshot()).fingerprint() \
+            == self.core.fingerprint()
+
+
+TestBrokerCoreMachine = BrokerCoreMachine.TestCase
+TestBrokerCoreMachine.settings = settings(
+    max_examples=40, stateful_step_count=25, deadline=None
+)
+
+
+def test_effects_are_pure_data():
+    """Two fresh cores fed the same stream emit identical canonical
+    effects at every step — the determinism contract backends build on."""
+    stream = [
+        (
+            AdvertiseMsg(
+                adv_id="a1",
+                advert=Advertisement.from_tests(("a", "b")),
+                publisher_id="p",
+            ),
+            "n1",
+        ),
+        (
+            SubscribeMsg(
+                expr=XPathExpr(
+                    steps=(Step(Axis.CHILD, "a"),), rooted=True
+                ),
+                subscriber_id="s",
+            ),
+            "n2",
+        ),
+        (
+            PublishMsg(
+                publication=Publication(doc_id="d", path_id=0, path=("a",)),
+                publisher_id="p",
+            ),
+            "n1",
+        ),
+    ]
+    one, two = _fresh_core(), _fresh_core()
+    for message, from_hop in stream:
+        assert canonical_effects(one.on_message(message, from_hop)) \
+            == canonical_effects(two.on_message(message, from_hop))
+    assert one.fingerprint() == two.fingerprint()

@@ -1,0 +1,114 @@
+"""The asyncio backend's concurrency contract: backpressure and
+deadlock-freedom.
+
+Queueing discipline under test (see docs/runtime.md): actor inboxes are
+unbounded (senders never block on them — the deadlock-freedom
+invariant), while per-link send queues and per-client delivery queues
+are bounded.  A slow consumer therefore exerts real backpressure on its
+producer — the queue depth stays within its capacity, the stall is
+surfaced on ``runtime.backpressure.*`` — and nothing is ever dropped
+unless the fault injector says so.
+"""
+
+import pytest
+
+from repro.broker.messages import PublishMsg, SubscribeMsg
+from repro.broker.strategies import RoutingConfig
+from repro.obs.registry import MetricsRegistry
+from repro.runtime.asyncio_backend import AsyncioRuntime
+from repro.xmldoc import Publication
+from repro.xpath import parse_xpath
+
+LINK_CAPACITY = 4
+DOCUMENTS = 40
+
+
+def _publication(i: int) -> PublishMsg:
+    return PublishMsg(
+        publication=Publication(
+            doc_id="doc-%d" % i, path_id=0, path=("claims", "claim", "amount")
+        ),
+        publisher_id="pub",
+    )
+
+
+@pytest.fixture
+def runtime():
+    registry = MetricsRegistry(enabled=True)
+    rt = AsyncioRuntime(
+        config=RoutingConfig.no_adv_no_cov(),
+        link_capacity=LINK_CAPACITY,
+        client_capacity=LINK_CAPACITY,
+        metrics=registry,
+    )
+    rt.add_broker("b1")
+    rt.add_broker("b2")
+    rt.connect("b1", "b2")
+    rt.start()
+    rt.attach_publisher("pub", "b1")
+    rt.attach_subscriber("sub", "b2")
+    rt.submit("sub", SubscribeMsg(expr=parse_xpath("/claims//amount"),
+                                  subscriber_id="sub"))
+    rt.drain()
+    yield rt
+    rt.close(drain=False)
+
+
+def test_slow_link_bounds_queue_and_surfaces_backpressure(runtime):
+    """A slow b1→b2 link makes the publisher-side actor outrun the link
+    sender.  The bounded send queue must cap the depth, count the waits,
+    finish the drain (no deadlock) and deliver everything (no drops)."""
+    runtime.link_delay[("b1", "b2")] = 0.002
+    for i in range(DOCUMENTS):
+        runtime.submit("pub", _publication(i))
+    runtime.drain(timeout=30)
+
+    depth = runtime.max_queue_depth.get(("b1", "b2"), 0)
+    assert 0 < depth <= LINK_CAPACITY
+    waits = runtime.metrics.counter("runtime.backpressure.waits").value
+    assert waits > 0, "slow link never exerted observable backpressure"
+    received = {m.publication.doc_id for m in runtime.subscribers["sub"].received}
+    assert received == {"doc-%d" % i for i in range(DOCUMENTS)}
+
+
+def test_slow_client_bounds_delivery_queue(runtime):
+    """Same discipline on the broker→client edge."""
+    runtime.client_delay["sub"] = 0.002
+    for i in range(DOCUMENTS):
+        runtime.submit("pub", _publication(i))
+    runtime.drain(timeout=30)
+
+    depth = runtime.max_queue_depth.get("sub", 0)
+    assert 0 < depth <= LINK_CAPACITY
+    received = {m.publication.doc_id for m in runtime.subscribers["sub"].received}
+    assert received == {"doc-%d" % i for i in range(DOCUMENTS)}
+
+
+def test_nothing_dropped_without_fault_injector(runtime):
+    for i in range(DOCUMENTS):
+        runtime.submit("pub", _publication(i))
+    runtime.drain(timeout=30)
+    assert runtime.metrics.counter("runtime.faults.dropped").value == 0
+    assert len(runtime.subscribers["sub"].received) == DOCUMENTS
+
+
+def test_drop_filter_drops_are_counted_and_do_not_wedge(runtime):
+    dropped = []
+
+    def drop_every_fourth(src, dst, message):
+        if isinstance(message, PublishMsg) and len(dropped) % 4 == 0:
+            dropped.append(message.publication.doc_id)
+            return True
+        return False
+
+    runtime.drop_filter = drop_every_fourth
+    runtime.submit("pub", _publication(0))
+    runtime.drain(timeout=30)
+    assert runtime.metrics.counter("runtime.faults.dropped").value == 1
+    assert dropped == ["doc-0"]
+    # The drained runtime is still live: clear the fault and publish.
+    runtime.drop_filter = None
+    runtime.submit("pub", _publication(1))
+    runtime.drain(timeout=30)
+    received = {m.publication.doc_id for m in runtime.subscribers["sub"].received}
+    assert "doc-1" in received and "doc-0" not in received

@@ -3,6 +3,11 @@
 The same routing layer the simulator exercises in-process runs here
 over localhost connections with the JSON wire protocol — the runnable
 equivalent of the paper's cluster/PlanetLab deployment.
+
+Every wall-clock deadline below (the ``settle(timeout=...)`` calls and
+the transport's internal ack/retransmit timers) is multiplied by the
+``REPRO_TEST_TIMEOUT_SCALE`` environment knob, so a loaded CI runner
+slows the whole file down with one export instead of per-test edits.
 """
 
 import pytest
@@ -11,6 +16,7 @@ from repro.adverts import Advertisement
 from repro.broker.messages import AdvertiseMsg, PublishMsg, SubscribeMsg
 from repro.broker.strategies import RoutingConfig
 from repro.network.sockets import LocalDeployment
+from repro.runtime.base import TIMEOUT_SCALE_ENV, scaled, timeout_scale
 from repro.xmldoc import Publication
 from repro.xpath import parse_xpath
 
@@ -149,6 +155,47 @@ class TestRobustness:
         # Say nothing; just disconnect.
         sock.close()
         assert chain.settle(timeout=2.0)
+
+
+class TestTimeoutScale:
+    """The single knob every deadline in this file derives from."""
+
+    def test_default_is_identity(self, monkeypatch):
+        monkeypatch.delenv(TIMEOUT_SCALE_ENV, raising=False)
+        assert timeout_scale() == 1.0
+        assert scaled(5.0) == 5.0
+
+    def test_scales_every_deadline(self, monkeypatch):
+        monkeypatch.setenv(TIMEOUT_SCALE_ENV, "3")
+        assert timeout_scale() == 3.0
+        assert scaled(5.0) == 15.0
+
+    @pytest.mark.parametrize("raw", ["banana", "", "0", "-2"])
+    def test_broken_values_never_shrink_timeouts(self, raw, monkeypatch):
+        """An unparseable or non-positive export must fall back to 1.0
+        — a broken env var should never turn into a zero deadline."""
+        monkeypatch.setenv(TIMEOUT_SCALE_ENV, raw)
+        assert timeout_scale() == 1.0
+        assert scaled(2.0) == 2.0
+
+    def test_deployment_honours_the_knob(self, monkeypatch):
+        """A scaled deployment still settles: the knob stretches the
+        deadline and the transport timers together, it never races one
+        against the other."""
+        monkeypatch.setenv(TIMEOUT_SCALE_ENV, "2")
+        deployment = LocalDeployment(config=RoutingConfig.no_adv_no_cov())
+        deployment.add_broker("b1")
+        deployment.add_broker("b2")
+        deployment.link("b1", "b2")
+        deployment.start()
+        try:
+            subscriber = deployment.subscriber("sub", "b2")
+            subscriber.submit(
+                SubscribeMsg(expr=parse_xpath("/x"), subscriber_id="sub")
+            )
+            assert deployment.settle(timeout=2.5)
+        finally:
+            deployment.stop()
 
 
 class TestLossyLinks:
