@@ -146,6 +146,47 @@ def test_mass_matching_100k():
 
 
 @pytest.mark.paper
+def test_dfa_eviction_steady_state():
+    """DFA-overflow discipline: under steady-state mass matching with a
+    tight state budget, overflow is absorbed by cold-half eviction —
+    ``dfa_flushes`` (wholesale discards, now reserved for structural
+    invalidation) stays 0, the probes stay correct, and the cache obeys
+    the bound throughout.  Pins the replacement of the old
+    flush-everything overflow response."""
+    limit = 64
+    count = SUBSCRIPTIONS // 5
+    params = MassWorkloadParams()
+    pairs = generate_mass_subscriptions(count, params, seed=11)
+    reference = LinearMatcher()
+    shared = SharedAutomatonMatcher(dfa_state_limit=limit)
+    for expr, key in pairs:
+        reference.add(expr, key)
+        shared.add(expr, key)
+    # Enough distinct paths that the DFA working set overflows the
+    # budget many times over; three passes make the second and third
+    # re-walk evicted territory (the steady state being pinned).
+    paths = _distinct_probe_paths(PROBES, params, seed=12)
+    registry = obs.get_registry()
+    for _pass in range(3):
+        for path in paths:
+            with registry.timer("matching.mass.evicting.match"):
+                got = shared.match(path)
+            assert got == reference.match(path), path
+    print(
+        "\n%d subscriptions, limit %d: %d evictions, %d flushes, "
+        "%d live DFA states"
+        % (count, limit, shared.dfa_evictions, shared.dfa_flushes,
+           shared.dfa_size())
+    )
+    assert shared.dfa_evictions > 0, "budget never overflowed — raise churn"
+    assert shared.dfa_flushes == 0, (
+        "steady-state matching must never wholesale-flush the DFA "
+        "(%d flushes)" % shared.dfa_flushes
+    )
+    assert shared.dfa_size() <= limit
+
+
+@pytest.mark.paper
 @pytest.mark.soak
 def test_mass_matching_1m():
     _run_pair(SOAK_SUBSCRIPTIONS)

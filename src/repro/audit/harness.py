@@ -70,6 +70,7 @@ def run_audited_workload(
     tracing: bool = False,
     flight_dir: Optional[str] = None,
     matching_engine: str = "auto",
+    shard_count: int = 4,
 ):
     """Run the audited workload; returns ``(overlay, oracle, report)``.
 
@@ -89,6 +90,8 @@ def run_audited_workload(
         )
     if config.matching_engine != matching_engine:
         config = replace(config, matching_engine=matching_engine)
+    if config.shard_count != shard_count:
+        config = replace(config, shard_count=shard_count)
     overlay = Overlay.binary_tree(
         levels,
         config=config,

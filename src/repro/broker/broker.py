@@ -100,9 +100,19 @@ class Broker:
             self.shared: Optional[SharedAutomatonMatcher] = (
                 SharedAutomatonMatcher()
             )
+        elif self.config.matching_engine == "sharded":
+            from repro.matching.sharded import ShardedMatcher
+
+            self.shared = ShardedMatcher(shard_count=self.config.shard_count)
         else:
             self.shared = None
+        self._sharded = self.config.matching_engine == "sharded"
         self._shared_dirty = False
+        #: Optional ``concurrent.futures`` executor for fanning a
+        #: publication's shard probes out concurrently; installed by
+        #: the runtime backends (see ``BrokerCore.set_matching_executor``
+        #: and docs/runtime.md), never owned by the broker.
+        self.matching_executor = None
 
         self._merger: Optional[MergingEngine] = None
         self._merge_registry: Optional[MergerRegistry] = None
@@ -564,6 +574,13 @@ class Broker:
         """Matched subscriber keys for *publication*, memoised on
         ``(path, attribute fingerprint)`` under the current routing-state
         generation (see ``match_cache``)."""
+        if self._sharded:
+            # The sharded engine carries its own per-shard caches with
+            # per-shard generations — strictly finer-grained than the
+            # broker-global generation stamp, so the global memo is
+            # bypassed entirely (one SUB would otherwise stale every
+            # entry here, which is exactly what sharding removes).
+            return self._publication_keys_sharded(publication)
         cache_key = (publication.path, publication.attributes)
         registry = obs.get_registry()
         scope = current_scope()
@@ -607,6 +624,35 @@ class Broker:
             )
         return keys
 
+    def _publication_keys_sharded(self, publication) -> frozenset:
+        """Sharded-engine match: per-shard generation-checked caches,
+        shard probes optionally fanned out on ``matching_executor``."""
+        engine = self._shared_engine()
+        registry = obs.get_registry()
+        scope = current_scope()
+        wall0 = perf_counter() if scope is not None else 0.0
+        keys, misses = engine.match_cached(
+            publication.path,
+            publication.attributes,
+            publication.attribute_maps,
+            executor=self.matching_executor,
+        )
+        if registry.enabled:
+            registry.counter("matching.shard.probes").inc()
+            if misses:
+                registry.counter("matching.shard.cache.misses").inc(misses)
+            else:
+                registry.counter("matching.shard.cache.hits").inc()
+        if scope is not None:
+            scope.sub_span(
+                "match", wall0, perf_counter(),
+                cache="hit" if misses == 0 else "miss",
+                engine="sharded",
+                keys=len(keys),
+                shard_misses=misses,
+            )
+        return keys
+
     def _invalidate_match_cache(self):
         """Bump the match-cache generation: every entry written before
         this routing-state change is stale from now on."""
@@ -630,9 +676,11 @@ class Broker:
         if self.shared is not None:
             self._shared_dirty = True
 
-    def _shared_engine(self) -> SharedAutomatonMatcher:
-        """The live mirror, rebuilding it from the authoritative table
-        first if a bulk rewrite invalidated it."""
+    def _shared_engine(self):
+        """The live mirror (``SharedAutomatonMatcher`` or
+        ``ShardedMatcher`` — same maintenance contract), rebuilding it
+        from the authoritative table first if a bulk rewrite
+        invalidated it."""
         if self._shared_dirty:
             registry = obs.get_registry()
             if registry.enabled:
@@ -758,7 +806,7 @@ class Broker:
         if self.config.covering:
             summary["top_level_subscriptions"] = self.tree.top_level_size()
         if self.shared is not None:
-            summary["matching_engine"] = "shared"
+            summary["matching_engine"] = self.config.matching_engine
             summary["shared_automaton"] = dict(
                 self.shared.stats(), dirty=self._shared_dirty
             )

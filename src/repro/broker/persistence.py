@@ -42,6 +42,7 @@ def snapshot(broker: Broker) -> Dict:
             "merge_interval": config.merge_interval,
             "advert_covering": config.advert_covering,
             "matching_engine": config.matching_engine,
+            "shard_count": config.shard_count,
         },
         "neighbors": sorted(map(str, broker.neighbors)),
         "local_clients": sorted(map(str, broker.local_clients)),
@@ -126,6 +127,7 @@ def restore(state: Dict, universe=None) -> Broker:
             merge_interval=config_state["merge_interval"],
             advert_covering=config_state.get("advert_covering", False),
             matching_engine=config_state.get("matching_engine", "auto"),
+            shard_count=config_state.get("shard_count", 4),
         )
         broker = Broker(state["broker_id"], config=config, universe=universe)
         for neighbor in state["neighbors"]:

@@ -27,8 +27,12 @@ class MergingMode(enum.Enum):
 #: layers a :class:`~repro.matching.shared_automaton.
 #: SharedAutomatonMatcher` mirror over the routing table so one
 #: document pass matches every resident subscription at once (the
-#: mass-subscription path — see docs/matching.md).
-MATCHING_ENGINES = ("auto", "shared")
+#: mass-subscription path — see docs/matching.md); ``sharded``
+#: partitions that mirror by root element into ``shard_count``
+#: independently-cached shards (:class:`~repro.matching.sharded.
+#: ShardedMatcher`) so churn in one shard leaves the others' caches
+#: warm and the runtime backends can probe shards in parallel.
+MATCHING_ENGINES = ("auto", "shared", "sharded")
 
 
 @dataclass(frozen=True)
@@ -65,6 +69,11 @@ class RoutingConfig:
     #: driving *forwarding*, this only selects how a publication is
     #: matched against the resident XPEs.
     matching_engine: str = "auto"
+    #: Root shards for ``matching_engine="sharded"`` (ignored by the
+    #: other engines).  The floating shard for relative/wildcard-root
+    #: expressions is extra, and a skew-triggered split can grow the
+    #: live shard count beyond this at runtime.
+    shard_count: int = 4
 
     def __post_init__(self):
         if self.merge_interval < 1:
@@ -74,6 +83,8 @@ class RoutingConfig:
                 "unknown matching engine %r (one of %s)"
                 % (self.matching_engine, ", ".join(MATCHING_ENGINES))
             )
+        if self.shard_count < 1:
+            raise ValueError("shard_count must be at least 1")
 
     # -- the six rows of Tables 2 and 3 ------------------------------------
 

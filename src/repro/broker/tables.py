@@ -11,6 +11,13 @@ last-hop>`` state; in this implementation it is embodied by either a
 or a :class:`~repro.covering.subscription_tree.SubscriptionTree`
 (covering strategies) inside :class:`~repro.broker.broker.Broker`, plus
 the per-neighbour ``forwarded`` bookkeeping defined here.
+
+Under ``matching_engine="sharded"`` the PRT's *matching* view is
+additionally partitioned: a :class:`~repro.matching.sharded.
+ShardedMatcher` mirrors the authoritative tree/flat table as N
+root-element shards with independent caches and DFA fragments (see
+docs/matching.md).  The authoritative table here stays monolithic —
+forwarding, covering, and merging semantics are untouched by sharding.
 """
 
 from __future__ import annotations

@@ -60,8 +60,17 @@ def _add_engine_option(parser):
         default="auto",
         help="publication-matching backend on every broker: 'auto' "
         "matches through the routing table itself, 'shared' layers the "
-        "shared-automaton mass-subscription engine over it (see "
-        "docs/matching.md)",
+        "shared-automaton mass-subscription engine over it, 'sharded' "
+        "partitions that engine by root element with per-shard caches "
+        "and parallel probes (see docs/matching.md)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=4,
+        metavar="N",
+        help="root-shard count for --engine sharded (default 4; "
+        "ignored by the other engines)",
     )
 
 
@@ -159,6 +168,7 @@ def cmd_simulate(args) -> int:
         faults=_parse_faults(args),
         batching=args.batch,
         matching_engine=args.engine,
+        shard_count=args.shards,
     )
     print(result.format())
     if metrics_out:
@@ -191,6 +201,7 @@ def cmd_stats(args) -> int:
         faults=_parse_faults(args),
         batching=args.batch,
         matching_engine=args.engine,
+        shard_count=args.shards,
     )
     registry = obs.get_registry()
     if args.format == "line":
@@ -248,6 +259,7 @@ def cmd_audit(args) -> int:
             merge_interval=args.merge_interval,
             seed=args.seed + 3,
             matching_engine=args.engine,
+        shard_count=args.shards,
         )
         status = "OK" if report.ok else "FAIL"
         print(
@@ -420,6 +432,7 @@ def cmd_deploy(args) -> int:
         seed=args.seed,
         strategy=args.strategy or "with-Adv-with-Cov",
         matching_engine=args.engine,
+        shard_count=args.shards,
         serialize_subscriptions=not args.no_serialize,
     )
     plan = build_plan(spec)

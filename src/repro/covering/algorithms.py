@@ -283,3 +283,67 @@ def _covers_with_predicates(s1: XPathExpr, s2: XPathExpr) -> bool:
         covers_step_block(s1.steps, s2.steps, offset)
         for offset in range(len(s2) - len(s1) + 1)
     )
+
+
+class SiblingCoverageProbe:
+    """Batched covering over one sibling group (merge-sweep hot path).
+
+    A pairwise merge sweep asks ``covers`` for O(k²) ordered pairs of
+    the *same* k siblings; going through :func:`covers` pays the
+    dispatch, the memo probe, and — on the compiled fast path — a fresh
+    ``path_string`` render of the covered side *per pair*.  The probe
+    hoists everything per-expression: each sibling's node-test string is
+    rendered once and its compiled regex bound once, so a pair check on
+    the fast path is a single regex call.  Pairs outside the compiled
+    fast path's shape preconditions (predicated or ``//`` coverers,
+    the absolute-covers-relative wildcard-prefix corner, separator
+    collisions, ``REPRO_COMPILED=0``) fall back to :func:`covers`
+    verbatim — the probe is an exact reformulation, pinned by a
+    differential test against the per-pair result.
+    """
+
+    __slots__ = ("exprs", "_texts", "_regexes", "_fallback")
+
+    def __init__(self, exprs: Sequence[XPathExpr]):
+        self.exprs = list(exprs)
+        texts = []
+        regexes = []
+        fallback = []
+        enabled = _compiled.ENABLED
+        for expr in self.exprs:
+            text = _compiled.path_string(expr.tests) if enabled else None
+            texts.append(text)
+            regex = None
+            if enabled and expr.is_simple and not expr.has_predicates:
+                regex = _compiled.compile_xpe(expr).regex
+            regexes.append(regex)
+            # As coverer: shapes where the regex verdict IS covers().
+            fallback.append(regex is None)
+        self._texts = texts
+        self._regexes = regexes
+        self._fallback = fallback
+
+    def covers(self, i: int, j: int) -> bool:
+        """``exprs[i] ⊒ exprs[j]``, identical to ``covers(...)``."""
+        s1 = self.exprs[i]
+        s2 = self.exprs[j]
+        if s1 is s2 or s1 == s2:
+            return True
+        if len(s1) > len(s2):
+            return False
+        text = self._texts[j]
+        if (
+            not self._fallback[i]
+            and text is not None
+            and s2.is_simple
+            and not (s1.is_absolute and s2.is_relative)
+        ):
+            # abs_sim_cov / rel_sim_cov compiled branches, with the
+            # covered side's string rendered once for the whole group.
+            return self._regexes[i](text) is not None
+        return covers(s1, s2)
+
+    def either_covers(self, i: int, j: int) -> bool:
+        """True when either sibling covers the other (the pairwise
+        merge sweep's skip condition)."""
+        return self.covers(i, j) or self.covers(j, i)

@@ -46,6 +46,7 @@ def run_traffic_experiment(
     faults=None,
     batching: bool = False,
     matching_engine: str = "auto",
+    shard_count: int = 4,
 ) -> ExperimentResult:
     """Run the Tables 2/3 experiment on a ``levels``-deep broker tree.
 
@@ -60,8 +61,9 @@ def run_traffic_experiment(
     ``Overlay.submit_batch``); delivered document sets are unaffected.
 
     ``matching_engine`` selects the publication-matching backend on
-    every broker (``auto`` or ``shared``); routing decisions and
-    delivered document sets are identical across engines.
+    every broker (``auto``, ``shared`` or ``sharded`` — the latter
+    partitioned into ``shard_count`` root shards); routing decisions
+    and delivered document sets are identical across engines.
     """
     if strategies is None:
         strategies = RoutingConfig.ALL_NAMES
@@ -85,7 +87,7 @@ def run_traffic_experiment(
 
     baseline_deliveries = None
     for name in strategies:
-        config = _configure(name, merge_interval, matching_engine)
+        config = _configure(name, merge_interval, matching_engine, shard_count)
         overlay = Overlay.binary_tree(
             levels,
             config=config,
@@ -138,13 +140,18 @@ def run_traffic_experiment(
 
 
 def _configure(
-    name: str, merge_interval: int, matching_engine: str = "auto"
+    name: str,
+    merge_interval: int,
+    matching_engine: str = "auto",
+    shard_count: int = 4,
 ) -> RoutingConfig:
     config = RoutingConfig.by_name(name)
     if config.merging.value != "off" and config.merge_interval != merge_interval:
         config = replace(config, merge_interval=merge_interval)
     if config.matching_engine != matching_engine:
         config = replace(config, matching_engine=matching_engine)
+    if config.shard_count != shard_count:
+        config = replace(config, shard_count=shard_count)
     return config
 
 

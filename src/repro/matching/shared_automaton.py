@@ -17,8 +17,13 @@ Three layers on top of the plain NFA simulation:
   via the subset construction and replayed as a single dict lookup ever
   after.  Publication workloads touch a tiny, hot fragment of the full
   (exponential) subset space — the cache is bounded by
-  ``dfa_state_limit`` and flushed wholesale when it overflows (the
-  classic lazy-DFA discipline; correctness never depends on the cache).
+  ``dfa_state_limit``; on overflow the *cold half* is evicted (states
+  are stamped with a per-walk clock, so recently-walked states survive)
+  instead of the classic wholesale flush, which used to discard the
+  entire hot fragment because one publication wandered somewhere new.
+  Correctness never depends on the cache; ``dfa_flushes`` now counts
+  wholesale discards (structural invalidations), ``dfa_evictions`` the
+  bounded overflow evictions.
 * **Predicate post-filtering.**  Attribute predicates are invisible to
   the structural automaton.  Predicated expressions live in a
   :class:`~repro.matching.predicate_index.PredicateIndexMatcher` side
@@ -54,7 +59,7 @@ DEFAULT_DFA_STATE_LIMIT = 50_000
 class _DFAState:
     """One lazily-built DFA state: a canonicalised NFA subset."""
 
-    __slots__ = ("nfa_states", "accepting", "transitions")
+    __slots__ = ("nfa_states", "accepting", "transitions", "stamp")
 
     def __init__(self, nfa_states: Tuple[_State, ...]):
         self.nfa_states = nfa_states
@@ -64,6 +69,9 @@ class _DFAState:
                 accepting |= state.accepting
         self.accepting: FrozenSet[XPathExpr] = frozenset(accepting)
         self.transitions: Dict[str, "_DFAState"] = {}
+        #: Last walk (matcher ``_clock`` value) that visited this state;
+        #: eviction keeps the highest stamps.
+        self.stamp = 0
 
 
 #: The unique dead state: empty subset, no way back.
@@ -87,9 +95,16 @@ class SharedAutomatonMatcher:
         #: Bumped on every mutation that can change a match result.
         self.version = 0
         self.dfa_state_limit = dfa_state_limit
+        #: Wholesale discards — structural NFA changes only, never
+        #: overflow (overflow evicts the cold half instead).
         self.dfa_flushes = 0
+        #: Bounded cold-half evictions on cache overflow.
+        self.dfa_evictions = 0
         self._dfa_cache: Dict[FrozenSet[int], _DFAState] = {}
         self._dfa_start: Optional[_DFAState] = None
+        #: Walk counter; every structural match stamps the states it
+        #: visits so overflow eviction can rank hotness.
+        self._clock = 0
 
     # -- maintenance -----------------------------------------------------
 
@@ -141,23 +156,56 @@ class SharedAutomatonMatcher:
         if self._dfa_cache or self._dfa_start is not None:
             self._dfa_cache = {}
             self._dfa_start = None
+            self.dfa_flushes += 1
+            obs.inc("matching.shared.dfa_flushes")
 
     def _dfa_state_for(self, nfa_states: Dict[int, _State]) -> _DFAState:
         key = frozenset(nfa_states)
         state = self._dfa_cache.get(key)
         if state is None:
             if len(self._dfa_cache) >= self.dfa_state_limit:
-                # Wholesale flush: states held by an in-flight walk stay
-                # valid (the NFA is unchanged), they just stop being
-                # findable — the next walk rebuilds the hot fragment.
-                self._dfa_cache = {}
-                self._dfa_start = None
-                self.dfa_flushes += 1
-                obs.inc("matching.shared.dfa_flushes")
+                self._evict_cold()
             state = self._dfa_cache[key] = _DFAState(
                 tuple(nfa_states.values())
             )
+            state.stamp = self._clock
         return state
+
+    def _evict_cold(self):
+        """Overflow: drop the cold half of the DFA cache, keeping the
+        most recently walked states.
+
+        States held by an in-flight walk stay valid (the NFA is
+        unchanged), evicted ones just stop being findable.  Surviving
+        states' transition tables are pruned of edges into evicted
+        states so a re-derived subset always resolves back to the
+        single cached ``_DFAState`` per key (``_DEAD`` edges stay —
+        the dead state is a module singleton, never cached)."""
+        keep = max(1, self.dfa_state_limit // 2)
+        ranked = sorted(
+            self._dfa_cache.items(),
+            key=lambda item: item[1].stamp,
+            reverse=True,
+        )
+        kept = dict(ranked[:keep])
+        survivors = {id(state) for state in kept.values()}
+        survivors.add(id(_DEAD))
+        for state in kept.values():
+            if any(
+                id(target) not in survivors
+                for target in state.transitions.values()
+            ):
+                state.transitions = {
+                    symbol: target
+                    for symbol, target in state.transitions.items()
+                    if id(target) in survivors
+                }
+        self._dfa_cache = kept
+        if self._dfa_start is not None \
+                and id(self._dfa_start) not in survivors:
+            self._dfa_start = None
+        self.dfa_evictions += 1
+        obs.inc("matching.shared.dfa_evictions")
 
     def _start_state(self) -> _DFAState:
         if self._dfa_start is None:
@@ -182,7 +230,10 @@ class SharedAutomatonMatcher:
 
     def _match_structural(self, path: Sequence[str]) -> Set[XPathExpr]:
         matched: Set[XPathExpr] = set()
+        self._clock += 1
+        clock = self._clock
         state = self._start_state()
+        state.stamp = clock
         transition = self._transition
         for symbol in path:
             nxt = state.transitions.get(symbol)
@@ -191,6 +242,7 @@ class SharedAutomatonMatcher:
             if nxt is _DEAD:
                 break
             state = nxt
+            state.stamp = clock
             if state.accepting:
                 matched |= state.accepting
         return matched
@@ -250,6 +302,7 @@ class SharedAutomatonMatcher:
             "nfa_states": self.automaton_size(),
             "dfa_states": self.dfa_size(),
             "dfa_flushes": self.dfa_flushes,
+            "dfa_evictions": self.dfa_evictions,
             "version": self.version,
         }
 

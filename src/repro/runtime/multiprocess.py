@@ -54,6 +54,18 @@ def _broker_worker(conn, broker_id: str, config, record_hops: bool, rto: float):
     node = SocketBrokerNode(broker_id, config=config, port=0, rto=rto)
     node.record_hops = record_hops
     node.start()
+    matching_pool = None
+    if config is not None and config.matching_engine == "sharded":
+        # Per-process shard-probe pool: with one pool per broker
+        # process, shard matching runs on real separate cores across
+        # the deployment, not one shared GIL.
+        from concurrent.futures import ThreadPoolExecutor
+
+        matching_pool = ThreadPoolExecutor(
+            max_workers=min(8, config.shard_count + 1),
+            thread_name_prefix="repro-shard-match",
+        )
+        node.broker.matching_executor = matching_pool
     delivered: List[Tuple[str, dict]] = []
     conn.send(("ready", node.host, node.port))
     while True:
@@ -96,6 +108,9 @@ def _broker_worker(conn, broker_id: str, config, record_hops: bool, rto: float):
                 reply = node.transport_stats()
             elif command == "stop":
                 node.stop()
+                if matching_pool is not None:
+                    node.broker.matching_executor = None
+                    matching_pool.shutdown(wait=True)
                 conn.send(("ok", None))
                 break
             else:

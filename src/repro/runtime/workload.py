@@ -45,6 +45,8 @@ class WorkloadSpec:
     seed: int = 7
     strategy: str = "with-Adv-with-Cov"
     matching_engine: str = "auto"
+    #: Root shards for ``matching_engine="sharded"``.
+    shard_count: int = 4
     target_bytes: int = 600
     #: Quiesce between per-leaf subscription batches.  Covering
     #: decisions depend on the order concurrent subscriptions from
@@ -58,6 +60,10 @@ class WorkloadSpec:
         if self.matching_engine != config.matching_engine:
             config = dataclasses.replace(
                 config, matching_engine=self.matching_engine
+            )
+        if self.shard_count != config.shard_count:
+            config = dataclasses.replace(
+                config, shard_count=self.shard_count
             )
         return config
 

@@ -136,7 +136,7 @@ class TestPruningAndDFA:
         m.add(x("/a/b[@u]"), "pred")  # side index only: structure intact
         assert m.dfa_size() == cached
 
-    def test_dfa_flush_at_limit_preserves_results(self):
+    def test_dfa_eviction_at_limit_preserves_results(self):
         m = SharedAutomatonMatcher(dfa_state_limit=3)
         linear = LinearMatcher()
         for text in ("/a/b", "//b/c", "/a//d", "b"):
@@ -148,8 +148,38 @@ class TestPruningAndDFA:
         ]
         for path in paths * 2:
             assert m.match(path) == linear.match(path), path
-        assert m.dfa_flushes > 0
+        # Overflow evicts the cold half; a wholesale flush would only
+        # come from a structural change, and matching is not one.
+        assert m.dfa_evictions > 0
+        assert m.dfa_flushes == 0
         assert m.dfa_size() <= 3
+
+    def test_eviction_keeps_hot_states_and_prunes_dangling_edges(self):
+        m = build("/a/b/c", "/q/r/s", "/u/v/w")
+        hot = ("a", "b", "c")
+        m.match(hot)
+        hot_states = m.dfa_size()
+        m.dfa_state_limit = m.dfa_size() + 1
+        # Cold traffic forces evictions; the hot walk stays resident.
+        for path in (("q", "r", "s"), ("u", "v", "w"), ("q", "z"),
+                     ("u", "z"), ("z", "z")):
+            m.match(path)
+        assert m.dfa_evictions > 0
+        m.match(hot)  # must still resolve purely from / into the cache
+        assert m.match(hot) == {"/a/b/c"}
+        # Surviving states never point at evicted objects: every cached
+        # transition target is the cached object for its subset key.
+        by_key = {
+            frozenset(id(s) for s in state.nfa_states): state
+            for state in m._dfa_cache.values()
+        }
+        from repro.matching.shared_automaton import _DEAD
+        for state in m._dfa_cache.values():
+            for target in state.transitions.values():
+                if target is not _DEAD:
+                    key = frozenset(id(s) for s in target.nfa_states)
+                    assert by_key.get(key) is target
+        assert hot_states >= 1
 
 
 # -- Hypothesis differentials ----------------------------------------------
