@@ -71,6 +71,8 @@ def run_audited_workload(
     flight_dir: Optional[str] = None,
     matching_engine: str = "auto",
     shard_count: int = 4,
+    views: bool = False,
+    view_hot_threshold: int = 3,
 ):
     """Run the audited workload; returns ``(overlay, oracle, report)``.
 
@@ -80,7 +82,10 @@ def run_audited_workload(
     trace context before any traffic flows (``flight_dir`` is where
     automatic flight-recorder dumps land; see :mod:`repro.obs.flight`).
     ``matching_engine`` selects every broker's publication-matching
-    backend, auditing the overlay's six invariants against it.
+    backend, auditing the overlay's six invariants against it.  With
+    *views* every edge broker keeps materialized views of hot delivery
+    groups (see :mod:`repro.views`); the oracle then also classifies
+    view-served and replayed deliveries.
     """
     dtd = psd_dtd()
     universe = PathUniverse.from_dtd(dtd, max_depth=10)
@@ -92,6 +97,10 @@ def run_audited_workload(
         config = replace(config, matching_engine=matching_engine)
     if config.shard_count != shard_count:
         config = replace(config, shard_count=shard_count)
+    if config.views != views or config.view_hot_threshold != view_hot_threshold:
+        config = replace(
+            config, views=views, view_hot_threshold=view_hot_threshold
+        )
     overlay = Overlay.binary_tree(
         levels,
         config=config,

@@ -104,6 +104,11 @@ class Broker:
             from repro.matching.sharded import ShardedMatcher
 
             self.shared = ShardedMatcher(shard_count=self.config.shard_count)
+            # A rebalance must never migrate expressions out of a shard
+            # the pending dirty-rebuild is about to discard: the engine
+            # rebuilds through this hook first (see ShardedMatcher.
+            # mark_stale and tests/test_sharded_matcher.py).
+            self.shared.set_rebuild_hook(self._rebuild_shared_for_engine)
         else:
             self.shared = None
         self._sharded = self.config.matching_engine == "sharded"
@@ -134,6 +139,26 @@ class Broker:
         # Exact client subscriptions: the edge-delivery filter.
         self.client_subs: Dict[object, Set[XPathExpr]] = defaultdict(set)
         self.stats: Dict[str, int] = defaultdict(int)
+
+        #: Edge materialized views (docs/views.md): routing memos plus
+        #: replay windows for hot publication groups.  Rebuildable
+        #: state — never persisted, dropped on crash, rewarmed lazily.
+        if self.config.views:
+            from repro.views import ViewManager
+
+            self.views: Optional[ViewManager] = ViewManager(
+                window=self.config.view_window,
+                hot_threshold=self.config.view_hot_threshold,
+                max_views=self.config.view_max,
+            )
+        else:
+            self.views = None
+        #: True while the destinations just computed came from a view
+        #: memo (consulted by the publish handlers to mark deliveries).
+        self._served_via_view = False
+        #: ``(client_id, msg_id)`` pairs whose Deliver effect must be
+        #: classified as ViewServe; drained by the broker core.
+        self._view_served_marks: Set[Tuple[object, int]] = set()
 
         #: Publication-match memo: ``(path, attribute fingerprint)`` →
         #: ``(generation, frozen match keys)``.  The generation counter
@@ -281,6 +306,20 @@ class Broker:
     def handle_subscribe(self, msg: SubscribeMsg, from_hop: object) -> Outbound:
         expr = msg.expr
         merge_registry = self._merge_registry
+        if from_hop in self.local_clients and self.views is not None:
+            # Late-subscriber replay: every retained window whose group
+            # this expression matches is queued for this client before
+            # the tables mutate (idempotent — clients deduplicate on
+            # (doc_id, path_id), so a re-subscription replays nothing
+            # the client has not already dropped as duplicate).
+            scope = current_scope()
+            wall0 = perf_counter() if scope is not None else 0.0
+            queued = self.views.queue_replays_for(from_hop, expr)
+            if scope is not None and queued:
+                scope.sub_span(
+                    "view.replay", wall0, perf_counter(),
+                    client=str(from_hop), messages=queued,
+                )
         if from_hop in self._keys_of(expr):
             # At-least-once redelivery of a subscription this broker
             # already holds for this hop: re-applying it must not touch
@@ -294,7 +333,7 @@ class Broker:
             self.stats["redelivered"] += 1
             obs.inc("broker.redelivered.subscribe")
             if from_hop in self.local_clients:
-                self.client_subs[from_hop].add(expr)
+                self._client_sub_add(from_hop, expr)
             return []
         if (
             merge_registry is not None
@@ -306,10 +345,10 @@ class Broker:
             self.stats["redelivered"] += 1
             obs.inc("broker.merge.constituent_resubscribe")
             if from_hop in self.local_clients:
-                self.client_subs[from_hop].add(expr)
+                self._client_sub_add(from_hop, expr)
             return []
         if from_hop in self.local_clients:
-            self.client_subs[from_hop].add(expr)
+            self._client_sub_add(from_hop, expr)
         self._invalidate_match_cache()
         self._shared_add(expr, from_hop)
 
@@ -418,7 +457,10 @@ class Broker:
     ) -> Outbound:
         expr = msg.expr
         if from_hop in self.local_clients:
-            self.client_subs[from_hop].discard(expr)
+            subs = self.client_subs[from_hop]
+            if expr in subs:
+                subs.discard(expr)
+                self._bump_client_epoch()
         merge_registry = self._merge_registry
         if from_hop not in self._keys_of(expr):
             if merge_registry is not None:
@@ -500,12 +542,15 @@ class Broker:
     # -- publications --------------------------------------------------------------
 
     def handle_publish(self, msg: PublishMsg, from_hop: object) -> Outbound:
-        return [
-            (destination, msg)
-            for destination in self._publish_destinations(
-                msg.publication, from_hop
-            )
-        ]
+        destinations = self._publish_destinations(
+            msg.publication, from_hop, message=msg
+        )
+        if self.views is not None and self._served_via_view:
+            marks = self._view_served_marks
+            for destination in destinations:
+                if destination in self.local_clients:
+                    marks.add((destination, msg.msg_id))
+        return [(destination, msg) for destination in destinations]
 
     def handle_publish_batch(
         self, messages: List[PublishMsg], from_hop: object
@@ -530,15 +575,30 @@ class Broker:
     ) -> Outbound:
         self.stats["publish"] += len(messages)
         out: Outbound = []
-        groups: Dict[tuple, List[object]] = {}
+        groups: Dict[tuple, Tuple[List[object], bool]] = {}
         for msg in messages:
             publication = msg.publication
             group_key = (publication.path, publication.attributes)
-            destinations = groups.get(group_key)
-            if destinations is None:
-                destinations = groups[group_key] = (
-                    self._publish_destinations(publication, from_hop)
+            cached = groups.get(group_key)
+            if cached is None:
+                destinations = self._publish_destinations(
+                    publication, from_hop, message=msg
                 )
+                served = self.views is not None and self._served_via_view
+                cached = groups[group_key] = (destinations, served)
+            else:
+                destinations, served = cached
+                if self.views is not None:
+                    # Later members of a served or freshly-materialized
+                    # group still belong in the replay window.
+                    self.views.capture(
+                        publication.path, publication.attributes, msg
+                    )
+            if served:
+                marks = self._view_served_marks
+                for destination in destinations:
+                    if destination in self.local_clients:
+                        marks.add((destination, msg.msg_id))
             for destination in destinations:
                 out.append((destination, msg))
         registry = obs.get_registry()
@@ -548,26 +608,106 @@ class Broker:
         return out
 
     def _publish_destinations(
-        self, publication, from_hop: object
+        self, publication, from_hop: object, message=None
     ) -> List[object]:
         """Destinations for one publication: matched keys minus the
         arrival hop, with the exact edge-delivery recheck applied to
-        local clients."""
+        local clients.  With views enabled a live view memo serves the
+        whole decision — byte-identical to the core route, because the
+        memo is stamped with the match generation *and* the client-
+        subscription epoch and dropped on any mismatch."""
+        if self.views is None:
+            keys = self._publication_keys(publication)
+            destinations: List[object] = []
+            attribute_maps = None
+            maps_ready = False
+            for key in sorted(keys, key=str):
+                if key == from_hop:
+                    continue
+                if key in self.local_clients:
+                    if not maps_ready:
+                        attribute_maps = publication.attribute_maps()
+                        maps_ready = True
+                    if self._client_wants(
+                        key, publication.path, attribute_maps
+                    ):
+                        destinations.append(key)
+                elif key in self.neighbors:
+                    destinations.append(key)
+            return destinations
+        return self._publish_destinations_viewed(
+            publication, from_hop, message
+        )
+
+    def _publish_destinations_viewed(
+        self, publication, from_hop: object, message=None
+    ) -> List[object]:
+        """The view-enabled routing path (see docs/views.md): serve a
+        repeat publication from the group's memo, or route through the
+        core and feed the group's heat/window."""
+        views = self.views
+        self._served_via_view = False
+        path = publication.path
+        attrs_key = publication.attributes
+        stamp = (self._match_generation, views.client_epoch)
+        registry = obs.get_registry()
+        scope = current_scope()
+        timed = registry.enabled or scope is not None
+        wall0 = perf_counter() if timed else 0.0
+        served = views.serve(path, attrs_key, stamp)
+        if served is not None:
+            keys, wanting = served
+            destinations = [
+                key
+                for key in sorted(keys, key=str)
+                if key != from_hop
+                and (
+                    key in wanting
+                    if key in self.local_clients
+                    else key in self.neighbors
+                )
+            ]
+            self._served_via_view = True
+            if message is not None:
+                views.capture(path, attrs_key, message)
+            if timed:
+                wall1 = perf_counter()
+                if registry.enabled:
+                    registry.histogram("views.serve").record(wall1 - wall0)
+                if scope is not None:
+                    scope.sub_span(
+                        "view.serve", wall0, wall1,
+                        keys=len(keys), delivered=len(destinations),
+                    )
+            return destinations
         keys = self._publication_keys(publication)
-        destinations: List[object] = []
+        destinations = []
+        wanting: Set[object] = set()
         attribute_maps = None
         maps_ready = False
         for key in sorted(keys, key=str):
-            if key == from_hop:
-                continue
             if key in self.local_clients:
+                # The exact filter runs even for the arrival hop: the
+                # memo must hold every local decision so a later serve
+                # (from any hop) stays byte-identical.
                 if not maps_ready:
                     attribute_maps = publication.attribute_maps()
                     maps_ready = True
-                if self._client_wants(key, publication.path, attribute_maps):
-                    destinations.append(key)
-            elif key in self.neighbors:
+                if self._client_wants(key, path, attribute_maps):
+                    wanting.add(key)
+                    if key != from_hop:
+                        destinations.append(key)
+            elif key != from_hop and key in self.neighbors:
                 destinations.append(key)
+        if message is not None:
+            views.observe(
+                path, attrs_key, frozenset(keys), frozenset(wanting),
+                stamp, message,
+            )
+        if registry.enabled:
+            registry.histogram("views.route").record(
+                perf_counter() - wall0
+            )
         return destinations
 
     def _publication_keys(self, publication) -> frozenset:
@@ -658,6 +798,37 @@ class Broker:
         this routing-state change is stale from now on."""
         self._match_generation += 1
 
+    # -- materialized views ----------------------------------------------------
+
+    def _bump_client_epoch(self):
+        """The exact client-subscription table changed without a match-
+        generation bump (redelivered SUB, early-return UNSUB): view
+        memos capture ``_client_wants`` outcomes, so they must see it."""
+        if self.views is not None:
+            self.views.client_epoch += 1
+
+    def _client_sub_add(self, client_id: object, expr: XPathExpr):
+        subs = self.client_subs[client_id]
+        if expr not in subs:
+            subs.add(expr)
+            self._bump_client_epoch()
+
+    def _take_view_served(self):
+        """Drain the (client_id, msg_id) pairs whose Deliver effects the
+        core must classify as ViewServe."""
+        if not self._view_served_marks:
+            return ()
+        marks = frozenset(self._view_served_marks)
+        self._view_served_marks.clear()
+        return marks
+
+    def _take_pending_replays(self):
+        """Drain queued late-subscriber window replays (the core turns
+        them into Replay effects; the hosts deliver them)."""
+        if self.views is None:
+            return ()
+        return self.views.take_pending_replays()
+
     # -- the shared-automaton mirror ------------------------------------------
 
     def _shared_add(self, expr: XPathExpr, key: object):
@@ -675,6 +846,11 @@ class Broker:
         (merge sweep, snapshot restore): rebuild lazily on next match."""
         if self.shared is not None:
             self._shared_dirty = True
+            if self._sharded:
+                # The sharded engine must know too: an explicit
+                # rebalance on a stale table would migrate expressions
+                # out of shards the pending rebuild is about to drop.
+                self.shared.mark_stale()
 
     def _shared_engine(self):
         """The live mirror (``SharedAutomatonMatcher`` or
@@ -690,7 +866,23 @@ class Broker:
             else:
                 self._rebuild_shared()
             self._shared_dirty = False
+            if self._sharded:
+                self.shared.stale = False
         return self.shared
+
+    def _rebuild_shared_for_engine(self):
+        """Rebuild hook handed to the sharded engine: a rebalance that
+        finds the mirror stale rebuilds it from the authoritative table
+        first, clearing the broker's dirty flag with it (the states
+        must never disagree)."""
+        registry = obs.get_registry()
+        if registry.enabled:
+            with registry.timer("matching.shared.rebuild"):
+                self._rebuild_shared()
+            registry.counter("matching.shared.rebuilds").inc()
+        else:
+            self._rebuild_shared()
+        self._shared_dirty = False
 
     def _rebuild_shared(self):
         self.shared.clear()
@@ -810,6 +1002,8 @@ class Broker:
             summary["shared_automaton"] = dict(
                 self.shared.stats(), dirty=self._shared_dirty
             )
+        if self.views is not None:
+            summary["views"] = self.views.stats()
         if self._merge_registry is not None:
             summary["live_mergers"] = len(self._merge_registry)
             summary["merge_events"] = len(self.merge_log)

@@ -12,6 +12,10 @@ however its execution model requires:
 * :class:`Send` — forward a message to a neighbouring broker (over a
   simulated link, an asyncio queue, or a TCP connection),
 * :class:`Deliver` — hand a message to a locally attached client,
+* :class:`ViewServe` — a Deliver satisfied from an edge materialized
+  view (a subclass, so Deliver-handling hosts work unchanged),
+* :class:`Replay` — deliver a view's retained publication window to a
+  late subscriber (see docs/views.md),
 * :class:`TimerRequest` — ask the host to call :meth:`BrokerCore.
   on_timer` later (the merge-sweep cadence; the core never sleeps),
 * :class:`Telemetry` — a host-visible measurement the core does not
@@ -60,6 +64,27 @@ class Deliver(Effect):
 
     client_id: object
     message: Message
+
+
+@dataclass(frozen=True)
+class ViewServe(Deliver):
+    """A :class:`Deliver` satisfied from an edge materialized view
+    (docs/views.md) instead of the matching core.  Subclassing keeps
+    every host's ``isinstance(effect, Deliver)`` path working — the
+    delivery is byte-identical to the core route; the subtype only
+    lets hosts label spans/metrics and the audit oracle classify it."""
+
+
+@dataclass(frozen=True)
+class Replay(Effect):
+    """Deliver a materialized view's retained publication window to the
+    late subscriber *client_id* (one message at a time, over whatever
+    transport the host uses for deliveries — client-side dedup on
+    ``(doc_id, path_id)`` supplies the exactly-once semantics)."""
+
+    client_id: object
+    messages: tuple
+    group: tuple  # the view's path, for tracing/debugging
 
 
 @dataclass(frozen=True)
@@ -153,10 +178,14 @@ class BrokerCore:
 
     def _classify(self, outbound) -> List[Effect]:
         broker = self.broker
+        served = broker._take_view_served()
         effects: List[Effect] = []
         for destination, message in outbound:
             if destination in broker.local_clients:
-                effects.append(Deliver(destination, message))
+                if served and (destination, message.msg_id) in served:
+                    effects.append(ViewServe(destination, message))
+                else:
+                    effects.append(Deliver(destination, message))
             elif destination in broker.neighbors:
                 effects.append(Send(destination, message))
             else:
@@ -164,6 +193,8 @@ class BrokerCore:
                     "broker %r emitted message to unknown destination %r"
                     % (self.broker_id, destination)
                 )
+        for client_id, messages, group in broker._take_pending_replays():
+            effects.append(Replay(client_id, tuple(messages), tuple(group)))
         return effects
 
     # -- snapshot / replay -------------------------------------------------
@@ -176,13 +207,28 @@ class BrokerCore:
         return snapshot(self.broker)
 
     @classmethod
-    def restore(cls, state: Dict, universe=None) -> "BrokerCore":
+    def restore(
+        cls,
+        state: Dict,
+        universe=None,
+        matching_engine: Optional[str] = None,
+        shard_count: Optional[int] = None,
+    ) -> "BrokerCore":
         """Rebuild a core from :meth:`snapshot` output.  Replaying the
         message suffix recorded after the snapshot yields the same
-        effects the original core produced (the determinism contract)."""
+        effects the original core produced (the determinism contract).
+        ``matching_engine``/``shard_count`` override the snapshot's
+        values (see :func:`repro.broker.persistence.restore`)."""
         from repro.broker.persistence import restore
 
-        return cls(broker=restore(state, universe=universe))
+        return cls(
+            broker=restore(
+                state,
+                universe=universe,
+                matching_engine=matching_engine,
+                shard_count=shard_count,
+            )
+        )
 
     def fingerprint(self) -> str:
         """Stable digest of the routing tables (see
@@ -221,8 +267,19 @@ def canonical_effects(effects: List[Effect]) -> List[tuple]:
                 ("send", str(effect.destination), message_key(effect.message))
             )
         elif isinstance(effect, Deliver):
+            # ViewServe renders as a plain delivery on purpose: a
+            # view-served delivery must be byte-identical to the core
+            # route, and replay tests compare through this form.
             rendered.append(
                 ("deliver", str(effect.client_id), message_key(effect.message))
+            )
+        elif isinstance(effect, Replay):
+            rendered.append(
+                (
+                    "replay",
+                    str(effect.client_id),
+                    tuple(message_key(m) for m in effect.messages),
+                )
             )
         elif isinstance(effect, TimerRequest):
             rendered.append(("timer", effect.name, effect.delay))

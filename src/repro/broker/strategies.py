@@ -74,6 +74,19 @@ class RoutingConfig:
     #: expressions is extra, and a skew-triggered split can grow the
     #: live shard count beyond this at runtime.
     shard_count: int = 4
+    #: Edge materialized views (see docs/views.md): every broker with
+    #: local subscribers memoises the routing decision and retains the
+    #: delivered-publication window of its hot publication groups, so
+    #: repeat publications are served without re-matching and a late
+    #: subscriber gets the window replayed.  Off by default — views are
+    #: rebuildable state and orthogonal to the routing strategy.
+    views: bool = False
+    #: Retained publications per materialized view (the replay window).
+    view_window: int = 64
+    #: Deliveries of a publication group before a view materializes.
+    view_hot_threshold: int = 3
+    #: Maximum live views per broker (oldest dropped beyond this).
+    view_max: int = 128
 
     def __post_init__(self):
         if self.merge_interval < 1:
@@ -85,6 +98,12 @@ class RoutingConfig:
             )
         if self.shard_count < 1:
             raise ValueError("shard_count must be at least 1")
+        if self.view_window < 1:
+            raise ValueError("view_window must be at least 1")
+        if self.view_hot_threshold < 1:
+            raise ValueError("view_hot_threshold must be at least 1")
+        if self.view_max < 1:
+            raise ValueError("view_max must be at least 1")
 
     # -- the six rows of Tables 2 and 3 ------------------------------------
 

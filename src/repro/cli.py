@@ -74,6 +74,17 @@ def _add_engine_option(parser):
     )
 
 
+def _add_views_option(parser):
+    parser.add_argument(
+        "--views",
+        action="store_true",
+        help="keep edge materialized views of hot delivery groups and "
+        "serve repeat publications (and late subscribers, via window "
+        "replay) from them instead of re-routing through the core "
+        "(see docs/views.md)",
+    )
+
+
 def _add_dtd_options(parser):
     parser.add_argument("dtd_file", nargs="?", help="path to a DTD file")
     parser.add_argument(
@@ -169,6 +180,7 @@ def cmd_simulate(args) -> int:
         batching=args.batch,
         matching_engine=args.engine,
         shard_count=args.shards,
+        views=args.views,
     )
     print(result.format())
     if metrics_out:
@@ -202,24 +214,41 @@ def cmd_stats(args) -> int:
         batching=args.batch,
         matching_engine=args.engine,
         shard_count=args.shards,
+        views=args.views,
     )
     registry = obs.get_registry()
+    meta = {
+        "command": "stats",
+        "levels": args.levels,
+        "brokers": 2 ** args.levels - 1,
+        "strategy": strategy,
+        "xpes_per_subscriber": args.xpes,
+        "documents": args.documents,
+        "seed": args.seed,
+    }
+    if args.views:
+        serves = registry.counter("views.serves").value
+        misses = registry.counter("views.misses").value
+        probes = serves + misses
+        meta["views"] = {
+            "serves": serves,
+            "misses": misses,
+            "hit_ratio": (serves / probes) if probes else 0.0,
+        }
     if args.format == "line":
         rendered = obs.to_line_protocol(registry)
     else:
-        document = obs.snapshot_document(
-            registry,
-            meta={
-                "command": "stats",
-                "levels": args.levels,
-                "brokers": 2 ** args.levels - 1,
-                "strategy": strategy,
-                "xpes_per_subscriber": args.xpes,
-                "documents": args.documents,
-                "seed": args.seed,
-            },
-        )
+        document = obs.snapshot_document(registry, meta=meta)
         rendered = json.dumps(document, indent=2, sort_keys=True)
+    if args.views:
+        print(
+            "views: serves=%d misses=%d hit_ratio=%.3f"
+            % (
+                meta["views"]["serves"],
+                meta["views"]["misses"],
+                meta["views"]["hit_ratio"],
+            )
+        )
     if args.out:
         with open(args.out, "w") as handle:
             handle.write(rendered + "\n")
@@ -259,7 +288,8 @@ def cmd_audit(args) -> int:
             merge_interval=args.merge_interval,
             seed=args.seed + 3,
             matching_engine=args.engine,
-        shard_count=args.shards,
+            shard_count=args.shards,
+            views=args.views,
         )
         status = "OK" if report.ok else "FAIL"
         print(
@@ -433,6 +463,7 @@ def cmd_deploy(args) -> int:
         strategy=args.strategy or "with-Adv-with-Cov",
         matching_engine=args.engine,
         shard_count=args.shards,
+        views=args.views,
         serialize_subscriptions=not args.no_serialize,
     )
     plan = build_plan(spec)
@@ -635,6 +666,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(Overlay.submit_batch)",
     )
     _add_engine_option(p)
+    _add_views_option(p)
     _add_faults_option(p)
     p.set_defaults(fn=cmd_simulate)
 
@@ -657,6 +689,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(Overlay.submit_batch)",
     )
     _add_engine_option(p)
+    _add_views_option(p)
     _add_faults_option(p)
     p.set_defaults(fn=cmd_stats)
 
@@ -678,6 +711,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-degree", type=float, default=0.1)
     p.add_argument("--merge-interval", type=int, default=4)
     _add_engine_option(p)
+    _add_views_option(p)
     p.set_defaults(fn=cmd_audit)
 
     p = sub.add_parser(
@@ -782,6 +816,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the diagnostics dump even on success",
     )
     _add_engine_option(p)
+    _add_views_option(p)
     p.set_defaults(fn=cmd_deploy)
 
     p = sub.add_parser("experiments", help="reproduce the paper's tables/figures")

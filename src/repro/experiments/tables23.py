@@ -47,6 +47,7 @@ def run_traffic_experiment(
     batching: bool = False,
     matching_engine: str = "auto",
     shard_count: int = 4,
+    views: bool = False,
 ) -> ExperimentResult:
     """Run the Tables 2/3 experiment on a ``levels``-deep broker tree.
 
@@ -64,6 +65,10 @@ def run_traffic_experiment(
     every broker (``auto``, ``shared`` or ``sharded`` — the latter
     partitioned into ``shard_count`` root shards); routing decisions
     and delivered document sets are identical across engines.
+
+    ``views`` enables edge materialized views (:mod:`repro.views`) on
+    every broker; delivered document sets are unaffected (views serve
+    byte-identical deliveries for hot groups).
     """
     if strategies is None:
         strategies = RoutingConfig.ALL_NAMES
@@ -87,7 +92,9 @@ def run_traffic_experiment(
 
     baseline_deliveries = None
     for name in strategies:
-        config = _configure(name, merge_interval, matching_engine, shard_count)
+        config = _configure(
+            name, merge_interval, matching_engine, shard_count, views
+        )
         overlay = Overlay.binary_tree(
             levels,
             config=config,
@@ -144,6 +151,7 @@ def _configure(
     merge_interval: int,
     matching_engine: str = "auto",
     shard_count: int = 4,
+    views: bool = False,
 ) -> RoutingConfig:
     config = RoutingConfig.by_name(name)
     if config.merging.value != "off" and config.merge_interval != merge_interval:
@@ -152,6 +160,8 @@ def _configure(
         config = replace(config, matching_engine=matching_engine)
     if config.shard_count != shard_count:
         config = replace(config, shard_count=shard_count)
+    if config.views != views:
+        config = replace(config, views=views)
     return config
 
 

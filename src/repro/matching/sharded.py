@@ -204,6 +204,13 @@ class ShardedMatcher:
         #: Applied rebalance events (root moves), for tests/describe.
         self.rebalance_log: List[Dict[str, object]] = []
         self._mutations_since_check = 0
+        #: The owning broker rewrote its table behind this mirror's
+        #: back (merge sweep, restore) and a rebuild is pending: the
+        #: resident expressions no longer reflect the routing state, so
+        #: rebalancing must not migrate from them (see mark_stale).
+        self.stale = False
+        self._rebuild_hook: Optional[Callable[[], None]] = None
+        self._rebuilding = False
 
     # -- placement -------------------------------------------------------
 
@@ -252,8 +259,13 @@ class ShardedMatcher:
         self._mutations_since_check += 1
         if (
             self.auto_rebalance
+            and not self._rebuilding
+            and not self.stale
             and self._mutations_since_check >= self.rebalance_interval
         ):
+            # Never auto-rebalance mid-rebuild (the table is half
+            # repopulated) or while stale (the table is about to be
+            # discarded) — both would migrate from a wrong snapshot.
             self._mutations_since_check = 0
             self.maybe_rebalance()
 
@@ -438,6 +450,7 @@ class ShardedMatcher:
             "rebalances": self.rebalances,
             "migrated_exprs": self.migrated_exprs,
             "version": self.version,
+            "stale": self.stale,
             "shards": shard_stats,
         }
 
@@ -458,8 +471,42 @@ class ShardedMatcher:
             return None
         return hottest
 
+    def mark_stale(self):
+        """The authoritative table was bulk-rewritten and a rebuild is
+        pending: resident expressions are a stale snapshot.  Matching
+        still answers (the owning broker rebuilds before it matches),
+        but rebalancing refuses to migrate until the rebuild ran."""
+        self.stale = True
+
+    def set_rebuild_hook(self, hook: Optional[Callable[[], None]]):
+        """Install the owner's rebuild callback, used by
+        :meth:`maybe_rebalance` to refresh a stale table first."""
+        self._rebuild_hook = hook
+
+    def _ensure_fresh(self) -> bool:
+        """Rebuild a stale table through the owner's hook; returns True
+        when the table is usable for migration decisions."""
+        if not self.stale:
+            return True
+        if self._rebuild_hook is None:
+            return False
+        self._rebuilding = True
+        try:
+            self._rebuild_hook()
+        finally:
+            self._rebuilding = False
+        self.stale = False
+        return True
+
     def maybe_rebalance(self) -> bool:
-        """Split the hottest shard if the skew trigger fires."""
+        """Split the hottest shard if the skew trigger fires.
+
+        A pending dirty-rebuild is honoured first: rebalancing over a
+        stale table would migrate expressions out of shards the rebuild
+        is about to clear, leaving ``_assignment`` pointing hot roots
+        at a shard chosen from data that no longer exists."""
+        if not self._ensure_fresh():
+            return False
         hot = self._hot_shard()
         if hot is None:
             return False
@@ -476,6 +523,8 @@ class ShardedMatcher:
         match results are unchanged throughout (the audit oracle's
         replay probes stay correct mid-split).
         """
+        if not self._ensure_fresh():
+            return False
         roots = sorted(
             (
                 root

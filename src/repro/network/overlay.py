@@ -20,9 +20,11 @@ from repro.broker.core import (
     MERGE_SWEEP_TIMER,
     BrokerCore,
     Deliver,
+    Replay,
     Send,
     Telemetry,
     TimerRequest,
+    ViewServe,
 )
 from repro.broker.messages import AdvertiseMsg, Message, PublishMsg
 from repro.broker.strategies import RoutingConfig
@@ -111,6 +113,11 @@ class Overlay:
         #: Reliable transport + fault schedule (see install_faults);
         #: None keeps the original direct-delivery fast path.
         self._transport = None
+        #: ``(client_id, msg_id)`` → "serve"/"replay" for deliveries in
+        #: flight that a materialized view produced (popped by
+        #: :meth:`_client_receive`, which labels the span and the audit
+        #: observation with it).
+        self._view_kinds: Dict[Tuple[object, int], str] = {}
         self._down: Set[str] = set()
         self._crash_state: Dict[str, Optional[Dict]] = {}
         self._held_while_down: Dict[
@@ -504,7 +511,22 @@ class Overlay:
             if isinstance(effect, Send):
                 pairs.append((effect.destination, effect.message))
             elif isinstance(effect, Deliver):
+                if isinstance(effect, ViewServe):
+                    self._view_kinds[
+                        (effect.client_id, effect.message.msg_id)
+                    ] = "serve"
                 pairs.append((effect.client_id, effect.message))
+            elif isinstance(effect, Replay):
+                # A view window replayed to a late subscriber: each
+                # retained publication travels the broker→client link
+                # like any delivery (client-side dedup makes the replay
+                # exactly-once), labelled so spans and the audit oracle
+                # can classify it.
+                for message in effect.messages:
+                    self._view_kinds[
+                        (effect.client_id, message.msg_id)
+                    ] = "replay"
+                    pairs.append((effect.client_id, message))
             elif isinstance(effect, TimerRequest):
                 self.sim.schedule(
                     effect.delay,
@@ -802,6 +824,7 @@ class Overlay:
         parent_span: Optional[Span] = None,
     ):
         self.stats.record_client_message()
+        view = self._view_kinds.pop((client_id, message.msg_id), None)
         client = self.subscribers[client_id]
         fresh = client.receive(message, hops)
         tracing = self.tracing
@@ -813,6 +836,8 @@ class Overlay:
                     "fresh": fresh,
                     "hops": hops,
                 }
+                if view is not None:
+                    attrs["view"] = view
                 publication = getattr(message, "publication", None)
                 if publication is not None:
                     attrs["doc"] = publication.doc_id
@@ -824,7 +849,10 @@ class Overlay:
                 )
         if fresh and isinstance(message, PublishMsg):
             for auditor in self._auditors:
-                auditor.observe_delivery(client_id, message)
+                if view is not None:
+                    auditor.observe_delivery(client_id, message, view=view)
+                else:
+                    auditor.observe_delivery(client_id, message)
             # duplicates (client.receive returned False) never reach the
             # delivery statistics: redelivered publications count once.
             self.stats.record_delivery(
@@ -868,6 +896,24 @@ class Overlay:
         # The matcher-level keys memos publish themselves: they join the
         # covering.tree.keys_cache / matching.linear.keys_cache groups
         # (repro.cache), which a snapshot-time collector sums.
+        serves = misses = live = retained = 0
+        views_on = False
+        for broker in self.brokers.values():
+            manager = broker.views
+            if manager is None:
+                continue
+            views_on = True
+            serves += manager.serves
+            misses += manager.misses
+            live += len(manager.views)
+            retained += sum(len(v.window) for v in manager.views.values())
+        if views_on:
+            total = serves + misses
+            self.metrics.gauge("views.hit_ratio").set(
+                (serves / total) if total else 0.0
+            )
+            self.metrics.gauge("views.live").set(live)
+            self.metrics.gauge("views.retained").set(retained)
         document = self.metrics.snapshot()
         document["network"] = self.stats.summary()
         if self._transport is not None:

@@ -59,6 +59,18 @@ from repro.obs.tracing import mint_context, stamp, trace_of
 from repro.runtime.base import scaled
 
 
+def stamp_view(message: Message, kind: str):
+    """Attach the view-delivery class ("serve"/"replay") to a message
+    object, the same out-of-band way trace contexts travel (works on
+    frozen dataclasses; local deliveries only — never wire-encoded by
+    the transport, only folded into drained delivery objects)."""
+    object.__setattr__(message, "view", kind)
+
+
+def view_of(message: Message) -> Optional[str]:
+    return getattr(message, "view", None)
+
+
 class _Connection:
     """One reliable framed peer connection with a reader thread.
 
@@ -410,9 +422,20 @@ class SocketBrokerNode:
                     str(detail) if detail is not None else None,
                 ))
             outbound = self.broker.handle(message, from_hop)
+            # This node drives the raw broker, not a BrokerCore, so the
+            # view marks/replays the core would classify into effects
+            # are drained here (see repro.broker.core and docs/views.md).
+            served = self.broker._take_view_served()
+            replays = self.broker._take_pending_replays()
             sinks = getattr(self, "_client_sinks", {})
             for destination, out_msg in outbound:
                 if destination in sinks:
+                    if served and (destination, out_msg.msg_id) in served:
+                        # Rides the message object like the trace stamp;
+                        # the multiprocess worker folds it into the wire
+                        # object so the parent-side auditor can classify
+                        # the delivery.
+                        stamp_view(out_msg, "serve")
                     self.delivered.append((destination, out_msg))
                     sinks[destination](out_msg)
                 else:
@@ -423,6 +446,14 @@ class SocketBrokerNode:
                             % (self.broker_id, destination)
                         )
                     connection.send(out_msg)
+            for client_id, messages, _group in replays:
+                sink = sinks.get(client_id)
+                if sink is None:
+                    continue
+                for out_msg in messages:
+                    stamp_view(out_msg, "replay")
+                    self.delivered.append((client_id, out_msg))
+                    sink(out_msg)
 
 
 class LocalDeployment:

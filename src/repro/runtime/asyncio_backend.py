@@ -35,9 +35,11 @@ from repro.broker.broker import Broker
 from repro.broker.core import (
     BrokerCore,
     Deliver,
+    Replay,
     Send,
     Telemetry,
     TimerRequest,
+    ViewServe,
 )
 from repro.broker.messages import Message, PublishMsg
 from repro.broker.strategies import RoutingConfig
@@ -143,6 +145,9 @@ class AsyncioRuntime:
         self._pending = 0
         self._idle: Optional[asyncio.Event] = None
         self._errors: List[BaseException] = []
+        #: ``(client_id, msg_id)`` → "serve"/"replay" for deliveries a
+        #: materialized view produced (popped by :meth:`_deliver`).
+        self._view_kinds: Dict[Tuple[str, int], str] = {}
         self._issued: Dict[Tuple[str, int], float] = {}
         self._started = False
         self._closed = False
@@ -436,7 +441,40 @@ class AsyncioRuntime:
         hop_span: Optional[Span],
     ):
         tracing = self.tracing
+        if isinstance(effect, Replay):
+            # A view window replayed to a late subscriber: each retained
+            # publication rides the client's bounded delivery queue like
+            # any delivery (backpressure included); client-side dedup
+            # makes the replay exactly-once.
+            for out_msg in effect.messages:
+                self._view_kinds[
+                    (effect.client_id, out_msg.msg_id)
+                ] = "replay"
+                fwd: Optional[Span] = None
+                out_context = (
+                    trace_of(out_msg) if tracing is not None else None
+                )
+                if out_context is not None:
+                    now = self.now
+                    fwd = tracing.span(
+                        out_context.trace_id,
+                        _parent_id(hop_span, out_context),
+                        "forward", broker_id, now, now,
+                        to=str(effect.client_id), kind=out_msg.kind,
+                        view="replay",
+                    )
+                self._begin()
+                await self._bounded_put(
+                    self._client_queues[effect.client_id],
+                    effect.client_id,
+                    (out_msg, hops, fwd),
+                )
+            return
         if isinstance(effect, (Send, Deliver)):
+            if isinstance(effect, ViewServe):
+                self._view_kinds[
+                    (effect.client_id, effect.message.msg_id)
+                ] = "serve"
             out_msg = effect.message
             # Broker-originated control traffic joins the causal trace
             # of the message that produced it (same rule as the
@@ -545,6 +583,7 @@ class AsyncioRuntime:
         parent_span: Optional[Span],
     ):
         self.stats.record_client_message()
+        view = self._view_kinds.pop((client_id, message.msg_id), None)
         client = self.subscribers[client_id]
         fresh = client.receive(message, hops)
         now = self.now
@@ -555,6 +594,8 @@ class AsyncioRuntime:
                 attrs = {
                     "subscriber": client_id, "fresh": fresh, "hops": hops,
                 }
+                if view is not None:
+                    attrs["view"] = view
                 publication = getattr(message, "publication", None)
                 if publication is not None:
                     attrs["doc"] = publication.doc_id
@@ -566,7 +607,10 @@ class AsyncioRuntime:
                 )
         if fresh and isinstance(message, PublishMsg):
             for auditor in self._auditors:
-                auditor.observe_delivery(client_id, message)
+                if view is not None:
+                    auditor.observe_delivery(client_id, message, view=view)
+                else:
+                    auditor.observe_delivery(client_id, message)
             key = (message.publication.doc_id, message.publication.path_id)
             self.stats.record_delivery(
                 DeliveryRecord(

@@ -85,7 +85,14 @@ def _broker_worker(conn, broker_id: str, config, record_hops: bool, rto: float):
                 (client_id,) = args
 
                 def sink(message, client_id=client_id):
-                    delivered.append((client_id, message_to_obj(message)))
+                    obj = message_to_obj(message)
+                    view = getattr(message, "view", None)
+                    if view is not None:
+                        # Local-delivery classification from the socket
+                        # node (view-served / replayed); folded into the
+                        # drained object for the parent-side auditor.
+                        obj["view"] = view
+                    delivered.append((client_id, obj))
 
                 node.attach_local_client(client_id, sink)
                 reply = None
@@ -411,6 +418,7 @@ class MultiprocessDeployment:
         fresh = 0
         for broker_id in self.broker_ids:
             for client_id, obj in self._rpc(broker_id, "drain_deliveries"):
+                view = obj.pop("view", None) if isinstance(obj, dict) else None
                 message = message_from_obj(obj)
                 client = self.subscribers.get(client_id)
                 if client is None or not client.accept(message):
@@ -424,7 +432,12 @@ class MultiprocessDeployment:
                         message.publication.path_id,
                     )] = context.trace_id if context is not None else None
                     for auditor in self._auditors:
-                        auditor.observe_delivery(client_id, message)
+                        if view is not None:
+                            auditor.observe_delivery(
+                                client_id, message, view=view
+                            )
+                        else:
+                            auditor.observe_delivery(client_id, message)
         return fresh
 
     def fingerprints(self) -> Dict[str, str]:

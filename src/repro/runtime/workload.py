@@ -47,6 +47,9 @@ class WorkloadSpec:
     matching_engine: str = "auto"
     #: Root shards for ``matching_engine="sharded"``.
     shard_count: int = 4
+    #: Edge materialized views (repro.views) on every broker.
+    views: bool = False
+    view_hot_threshold: int = 3
     target_bytes: int = 600
     #: Quiesce between per-leaf subscription batches.  Covering
     #: decisions depend on the order concurrent subscriptions from
@@ -64,6 +67,15 @@ class WorkloadSpec:
         if self.shard_count != config.shard_count:
             config = dataclasses.replace(
                 config, shard_count=self.shard_count
+            )
+        if (
+            self.views != config.views
+            or self.view_hot_threshold != config.view_hot_threshold
+        ):
+            config = dataclasses.replace(
+                config,
+                views=self.views,
+                view_hot_threshold=self.view_hot_threshold,
             )
         return config
 

@@ -117,6 +117,74 @@ class TestRoundTrip:
         assert rebuilt.client_subs["c1"] == original.client_subs["c1"]
 
 
+class TestEngineSwitch:
+    """Restoring a snapshot under a different matching engine must
+    rebuild the mirror for the new engine and invalidate every match
+    cache — the regression was a restored broker matching through a
+    mirror (and cache generation) built for the old engine."""
+
+    PROBES = (("x", "y"), ("x",), ("x", "w", "q"), ("q",), ("z", "w"))
+
+    def _delivered(self, broker):
+        return [publish(broker, path, doc_id="d%d" % i)
+                for i, path in enumerate(self.PROBES)]
+
+    def test_shared_snapshot_restored_as_sharded(self):
+        import dataclasses
+
+        original = populated_broker(
+            dataclasses.replace(
+                RoutingConfig.with_adv_with_cov(), matching_engine="shared"
+            )
+        )
+        # Warm the original's caches so stale generations would show.
+        baseline = self._delivered(original)
+        rebuilt = restore(
+            snapshot(original), matching_engine="sharded", shard_count=3
+        )
+        assert rebuilt.config.matching_engine == "sharded"
+        from repro.matching import ShardedMatcher
+
+        assert isinstance(rebuilt.shared, ShardedMatcher)
+        assert self._delivered(rebuilt) == baseline
+        rebuilt._shared_engine().check_invariants()
+
+    def test_sharded_snapshot_restored_as_shared(self):
+        import dataclasses
+
+        original = populated_broker(
+            dataclasses.replace(
+                RoutingConfig.with_adv_with_cov(),
+                matching_engine="sharded",
+                shard_count=3,
+            )
+        )
+        baseline = self._delivered(original)
+        rebuilt = restore(snapshot(original), matching_engine="shared")
+        assert rebuilt.config.matching_engine == "shared"
+        from repro.matching import ShardedMatcher
+
+        assert not isinstance(rebuilt.shared, ShardedMatcher)
+        assert self._delivered(rebuilt) == baseline
+
+    def test_engine_switch_bumps_match_generation(self):
+        import dataclasses
+
+        original = populated_broker(
+            dataclasses.replace(
+                RoutingConfig.with_adv_with_cov(), matching_engine="shared"
+            )
+        )
+        publish(original, ("x", "y"))
+        state = snapshot(original)
+        rebuilt = restore(state, matching_engine="sharded", shard_count=2)
+        # The mirror rebuild is pending (dirty) and the cache generation
+        # moved past anything a warmed snapshot could have carried.
+        assert rebuilt._shared_dirty
+        assert rebuilt._match_generation > 0
+        assert publish(rebuilt, ("x", "y")) == publish(original, ("x", "y"))
+
+
 class TestErrors:
     def test_malformed_snapshot(self):
         with pytest.raises(PersistenceError):
@@ -125,3 +193,50 @@ class TestErrors:
     def test_malformed_json(self):
         with pytest.raises(PersistenceError):
             restore_json("{not json")
+
+    def test_unknown_matching_engine_names_the_field(self):
+        from repro.errors import ConfigError
+
+        state = snapshot(populated_broker())
+        state["config"]["matching_engine"] = "quantum"
+        with pytest.raises(ConfigError) as excinfo:
+            restore(state)
+        assert "matching_engine" in str(excinfo.value)
+        assert "quantum" in str(excinfo.value)
+
+    def test_unknown_engine_override_names_the_field(self):
+        from repro.errors import ConfigError
+
+        state = snapshot(populated_broker())
+        with pytest.raises(ConfigError) as excinfo:
+            restore(state, matching_engine="future-engine")
+        assert "matching_engine" in str(excinfo.value)
+
+    def test_bad_shard_count_names_the_field(self):
+        from repro.errors import ConfigError
+
+        state = snapshot(populated_broker())
+        state["config"]["matching_engine"] = "sharded"
+        state["config"]["shard_count"] = "seven"
+        with pytest.raises(ConfigError) as excinfo:
+            restore(state)
+        assert "shard_count" in str(excinfo.value)
+
+    def test_bool_shard_count_rejected(self):
+        from repro.errors import ConfigError
+
+        state = snapshot(populated_broker())
+        state["config"]["matching_engine"] = "sharded"
+        state["config"]["shard_count"] = True
+        with pytest.raises(ConfigError):
+            restore(state)
+
+    def test_config_error_is_not_swallowed_by_json_path(self):
+        import json
+
+        from repro.errors import ConfigError
+
+        state = json.loads(snapshot_json(populated_broker()))
+        state["config"]["matching_engine"] = "quantum"
+        with pytest.raises(ConfigError):
+            restore_json(json.dumps(state))

@@ -309,6 +309,160 @@ class TestRebalancing:
         assert not m.maybe_rebalance()
 
 
+# -- stale-table rebalancing (bugfix regression) ---------------------------
+
+
+class TestStaleRebalance:
+    """A rebalance racing a pending merge-sweep dirty-rebuild must not
+    migrate from shards whose resident expressions are about to be
+    discarded (they are a snapshot of the pre-sweep table)."""
+
+    def _merge_broker(self):
+        universe = PathUniverse.from_dtd(psd_dtd(), max_depth=6)
+        config = RoutingConfig(
+            advertisements=False,
+            merging=MergingMode.PERFECT,
+            merge_interval=1_000_000,
+            matching_engine="sharded",
+            shard_count=2,
+        )
+        broker = Broker("b1", config=config, universe=universe)
+        broker.connect("n1")
+        for leaf in ("uid", "accession", "created-date", "seq-rev-date",
+                     "txt-rev-date"):
+            broker.handle(_sub(_PSD_HEADER + "/" + leaf), "n1")
+        return broker
+
+    def test_rebalance_on_stale_engine_rebuilds_first(self):
+        broker = self._merge_broker()
+        broker.run_merge_sweep()
+        assert broker.merge_log
+        assert broker._shared_dirty
+        engine = broker.shared  # NOT _shared_engine(): stay stale
+        assert engine.stale
+        # Force the skew trigger so a split would certainly fire, then
+        # rebalance while the dirty rebuild is still pending.
+        engine.rebalance_factor = 1.05
+        engine.min_split_size = 1
+        engine.maybe_rebalance()
+        # The hook rebuilt the mirror before any migration decision ...
+        assert not engine.stale
+        assert not broker._shared_dirty
+        engine.check_invariants()
+        # ... so the post-sweep table answers correctly.
+        publication = Publication(
+            doc_id="d", path_id=0,
+            path=("ProteinDatabase", "ProteinEntry", "header", "uid"),
+        )
+        assert broker._publication_keys(publication) == frozenset({"n1"})
+
+    def test_stale_engine_without_hook_refuses_to_migrate(self):
+        m, _ = TestRebalancing()._skewed()
+        m.mark_stale()
+        before = [len(s.engine) for s in m._shards]
+        assert not m.maybe_rebalance()
+        assert m.stale  # still pending: nothing rebuilt, nothing moved
+        assert [len(s.engine) for s in m._shards] == before
+        assert not m.rebalance_log
+
+    def test_auto_rebalance_suppressed_while_stale(self):
+        m = ShardedMatcher(
+            shard_count=2, min_split_size=8, rebalance_factor=1.3,
+            rebalance_interval=10,
+        )
+        m.mark_stale()
+        for i in range(200):
+            m.add(x("/hot%d/c%d" % (i % 3, i)), i)
+        assert m.rebalances == 0 and not m.rebalance_log
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        ops=st.lists(st.integers(min_value=0, max_value=2 ** 30),
+                     min_size=4, max_size=30),
+    )
+    def test_interleaved_sweeps_and_rebalances_stay_equivalent(self, ops):
+        """Hypothesis interleaving: SUB/UNSUB/merge-sweep/rebalance in
+        any order leaves the sharded broker matching exactly like the
+        shared-engine reference, with partition invariants intact."""
+        universe = PathUniverse.from_dtd(psd_dtd(), max_depth=6)
+        sharded, reference = _make_pair(universe)
+        live = []
+        for op in ops:
+            kind = op % 4
+            if kind == 0:
+                text = _POOL[op % len(_POOL)]
+                msg = SubscribeMsg(expr=x(text),
+                                   subscriber_id="s%d" % (op % 3))
+                sharded.handle(msg, _HOPS[op % len(_HOPS)])
+                reference.handle(msg, _HOPS[op % len(_HOPS)])
+                live.append((text, op % 3, _HOPS[op % len(_HOPS)]))
+            elif kind == 1 and live:
+                text, s, hop = live.pop(op % len(live))
+                msg = UnsubscribeMsg(expr=x(text), subscriber_id="s%d" % s)
+                sharded.handle(msg, hop)
+                reference.handle(msg, hop)
+            elif kind == 2:
+                sharded.run_merge_sweep()
+                reference.run_merge_sweep()
+            else:
+                engine = sharded.shared  # possibly stale: the race
+                engine.rebalance_factor = 1.1
+                engine.min_split_size = 1
+                engine.maybe_rebalance()
+                engine.check_invariants()
+        for i, path in enumerate(PROBES):
+            publication = Publication(doc_id="d%d" % i, path_id=0, path=path)
+            got = sharded._publication_keys(publication)
+            want = reference._publication_keys(publication)
+            assert got == want, (path, got, want)
+        sharded._shared_engine().check_invariants()
+
+
+# -- floating-only workloads (rebalancer no-op) ----------------------------
+
+
+class TestFloatingOnlyWorkload:
+    """All-relative/wildcard-root expressions live in the floating
+    shard, which the rebalancer never partitions: the whole machinery
+    must stay a no-op while matching stays correct under churn."""
+
+    _FLOATING = ("//b", "//b/c", "a/b", "b", "/*/b", "/*/d", "//c[@j]",
+                 "b/c", "//author")
+
+    def test_rebalancer_is_a_noop(self):
+        m = ShardedMatcher(
+            shard_count=2, min_split_size=1, rebalance_factor=1.05,
+            rebalance_interval=5,
+        )
+        lin = LinearMatcher()
+        live = []
+        for i in range(120):
+            text = self._FLOATING[i % len(self._FLOATING)]
+            e = x(text)
+            m.add(e, i)
+            lin.add(e, i)
+            live.append((e, i))
+            if i % 3 == 0 and live:
+                e, k = live.pop(i % len(live))
+                m.remove(e, k)
+                lin.remove(e, k)
+            m.maybe_rebalance()  # explicit, on top of the auto cadence
+        assert m.rebalances == 0
+        assert m.rebalance_log == []
+        assert m.migrated_exprs == 0
+        assert m.shard_count == 2
+        assert all(len(s.engine) == 0 for s in m._shards)
+        m.check_invariants()
+        for path in (("a", "b"), ("z", "b"), ("q", "b", "c"), ("b",),
+                     ("x", "d"), ()):
+            assert m.match(path) == lin.match(path), path
+            a = tuple(
+                {"j": "1"} if i == len(path) - 1 else {}
+                for i in range(len(path))
+            ) or None
+            assert m.match(path, a) == lin.match(path, a), (path, "attrs")
+
+
 # -- Hypothesis differential ----------------------------------------------
 
 _texts = st.lists(
