@@ -49,6 +49,7 @@ GATED_PREFIXES = (
     "matching.",
     "merging.",
     "network.dispatch",
+    "telemetry.",
     "views.",
 )
 

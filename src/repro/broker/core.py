@@ -43,6 +43,7 @@ from repro.errors import RoutingError
 
 #: The merge-sweep timer name (the only timer the core requests today).
 MERGE_SWEEP_TIMER = "merge-sweep"
+TELEMETRY_TIMER = "telemetry-sample"
 
 
 @dataclass(frozen=True)
@@ -127,6 +128,9 @@ class BrokerCore:
                 raise RoutingError("BrokerCore needs a broker or a broker_id")
             broker = Broker(broker_id, config=config, universe=universe)
         self.broker = broker
+        #: Sampling period while the telemetry timer is armed (None
+        #: when the host has not enabled telemetry on this core).
+        self.telemetry_interval: Optional[float] = None
 
     @property
     def broker_id(self):
@@ -167,11 +171,29 @@ class BrokerCore:
             self.broker.handle_publish_batch(messages, from_hop)
         )
 
+    def enable_telemetry(self, interval: float) -> TimerRequest:
+        """Arm the periodic telemetry timer; the host schedules the
+        returned request and keeps re-scheduling the one
+        :meth:`on_timer` re-emits each period."""
+        self.telemetry_interval = float(interval)
+        return TimerRequest(TELEMETRY_TIMER, self.telemetry_interval)
+
     def on_timer(self, name: str) -> List[Effect]:
         """A host timer fired.  ``merge-sweep`` runs one merging sweep;
-        unknown timer names are a host bug and raise."""
+        ``telemetry-sample`` marks a sampling tick (the host reads the
+        gauges — the core just re-arms and counts); unknown timer names
+        are a host bug and raise."""
         if name == MERGE_SWEEP_TIMER:
             return self._classify(self.broker.run_merge_sweep())
+        if name == TELEMETRY_TIMER:
+            if self.telemetry_interval is None:
+                # Telemetry was disabled between scheduling and firing
+                # (e.g. the core was rebuilt on restart): drop the tick.
+                return []
+            return [
+                Telemetry("telemetry.timer.fires"),
+                TimerRequest(TELEMETRY_TIMER, self.telemetry_interval),
+            ]
         raise RoutingError(
             "broker %r received unknown timer %r" % (self.broker_id, name)
         )

@@ -203,7 +203,7 @@ def cmd_stats(args) -> int:
 
     obs.enable_metrics(reset=True)
     strategy = args.strategy or "with-Adv-with-CovPM"
-    run_traffic_experiment(
+    result = run_traffic_experiment(
         levels=args.levels,
         xpes_per_subscriber=args.xpes,
         documents=args.documents,
@@ -215,6 +215,7 @@ def cmd_stats(args) -> int:
         matching_engine=args.engine,
         shard_count=args.shards,
         views=args.views,
+        telemetry_interval=args.sample_every,
     )
     registry = obs.get_registry()
     meta = {
@@ -235,6 +236,20 @@ def cmd_stats(args) -> int:
             "misses": misses,
             "hit_ratio": (serves / probes) if probes else 0.0,
         }
+    if args.engine == "sharded":
+        hits = registry.counter("matching.shard.cache.hits").value
+        cache_misses = registry.counter("matching.shard.cache.misses").value
+        lookups = hits + cache_misses
+        meta["shards"] = {
+            "probes": registry.counter("matching.shard.probes").value,
+            "cache_hits": hits,
+            "cache_misses": cache_misses,
+            "cache_hit_ratio": (hits / lookups) if lookups else 0.0,
+            "rebalances": registry.counter("matching.shard.rebalances").value,
+            "migrated_exprs": registry.counter(
+                "matching.shard.migrated_exprs"
+            ).value,
+        }
     if args.format == "line":
         rendered = obs.to_line_protocol(registry)
     else:
@@ -249,12 +264,249 @@ def cmd_stats(args) -> int:
                 meta["views"]["hit_ratio"],
             )
         )
+    if args.engine == "sharded":
+        print(
+            "shards: probes=%d cache_hit_ratio=%.3f rebalances=%d"
+            % (
+                meta["shards"]["probes"],
+                meta["shards"]["cache_hit_ratio"],
+                meta["shards"]["rebalances"],
+            )
+        )
+    if args.sample_every is not None:
+        document = result.telemetry[strategy]
+        with open(args.timeline_out, "w") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(
+            "telemetry timeline written to %s (%d samples, %d brokers; "
+            "render with 'repro timeline %s')"
+            % (
+                args.timeline_out,
+                document["samples_taken"],
+                len(document["brokers"]) - 1,
+                args.timeline_out,
+            )
+        )
     if args.out:
         with open(args.out, "w") as handle:
             handle.write(rendered + "\n")
         print("metrics written to %s" % args.out)
     else:
         print(rendered)
+    return 0
+
+
+def cmd_top(args) -> int:
+    """Live per-broker operational view on a real concurrency backend:
+    drive a seeded workload round by round and refresh the health table
+    (queue depth, throughput, retransmits, delivery p99) from the live
+    telemetry plane after every round.  ``--overload BROKER`` slows one
+    broker down so the healthy → degraded → overloaded escalation is
+    watchable; ``--prom-port``/``--prom-textfile`` expose the same
+    numbers to Prometheus (see docs/telemetry.md)."""
+    import dataclasses
+    import time as _time
+
+    from repro import obs
+    from repro.broker.messages import AdvertiseMsg, PublishMsg, SubscribeMsg
+    from repro.obs.telemetry import (
+        PrometheusEndpoint,
+        default_slo_rules,
+        render_top,
+    )
+    from repro.runtime.workload import PUBLISHER, WorkloadSpec, build_plan
+
+    obs.enable_metrics(reset=True)
+    registry = obs.get_registry()
+    spec = WorkloadSpec(
+        levels=args.levels,
+        queries_per_leaf=args.queries,
+        documents=2,
+        seed=args.seed,
+        strategy=args.strategy or "with-Adv-with-Cov",
+    )
+    plan = build_plan(spec)
+    if args.overload and args.overload not in plan.broker_ids:
+        raise SystemExit(
+            "error: --overload %r is not one of the %d brokers (%s...)"
+            % (args.overload, len(plan.broker_ids), plan.broker_ids[0])
+        )
+
+    if args.backend == "multiprocess":
+        from repro.runtime.multiprocess import MultiprocessDeployment
+
+        host = MultiprocessDeployment(
+            config=spec.config(),
+            service_delay=(
+                {args.overload: args.overload_delay} if args.overload else None
+            ),
+        )
+        for broker_id in plan.broker_ids:
+            host.add_broker(broker_id)
+        for a, b in plan.links:
+            host.link(a, b)
+        host.start()
+
+        def quiesce():
+            if not host.settle():
+                raise ReproError("multiprocess deployment failed to settle")
+            host.drain_deliveries()
+
+        teardown = host.stop
+    else:
+        from repro.runtime.asyncio_backend import AsyncioRuntime
+
+        host = AsyncioRuntime(
+            config=spec.config(), metrics=registry, client_capacity=8
+        )
+        for broker_id in plan.broker_ids:
+            host.add_broker(broker_id)
+        for a, b in plan.links:
+            host.connect(a, b)
+        host.start()
+        quiesce = host.drain
+        teardown = host.close
+
+    telemetry_kwargs = {}
+    if args.queue_slo:
+        try:
+            low, high = (float(part) for part in args.queue_slo.split(","))
+        except ValueError:
+            print(
+                "error: --queue-slo expects LOW,HIGH (e.g. 3,8)",
+                file=sys.stderr,
+            )
+            return 2
+        telemetry_kwargs["rules"] = default_slo_rules(
+            queue_depth=(low, high)
+        )
+    plane = host.enable_telemetry(interval=args.interval, **telemetry_kwargs)
+    endpoint = None
+    try:
+        host.attach_publisher(PUBLISHER, plan.broker_ids[0])
+        for leaf in sorted(plan.subscriptions):
+            host.attach_subscriber("sub-%s" % leaf, leaf)
+        if args.backend == "asyncio" and args.overload:
+            # The asyncio overload knob is a slow consumer: delay every
+            # subscriber attached at the target broker.
+            slowed = 0
+            for leaf in plan.subscriptions:
+                if leaf == args.overload:
+                    host.client_delay["sub-%s" % leaf] = args.overload_delay
+                    slowed += 1
+            if not slowed:
+                print(
+                    "note: --overload %s has no local subscribers on the "
+                    "asyncio backend (pick a leaf broker)" % args.overload
+                )
+        if args.prom_port is not None or args.prom_textfile:
+            endpoint = PrometheusEndpoint(
+                registry,
+                plane,
+                port=args.prom_port or 0,
+                textfile=args.prom_textfile,
+            )
+            if args.prom_port is not None:
+                endpoint.start()
+                print("prometheus endpoint at %s" % endpoint.url)
+
+        for adv_id, advert in plan.adverts:
+            host.submit(
+                PUBLISHER,
+                AdvertiseMsg(
+                    adv_id=adv_id, advert=advert, publisher_id=PUBLISHER
+                ),
+            )
+        quiesce()
+        for leaf in sorted(plan.subscriptions):
+            client_id = "sub-%s" % leaf
+            for expr in plan.subscriptions[leaf]:
+                host.submit(
+                    client_id, SubscribeMsg(expr=expr, subscriber_id=client_id)
+                )
+        quiesce()
+
+        for round_no in range(args.rounds):
+            started = _time.monotonic()
+            for document in plan.documents:
+                size = document.size_bytes()
+                issued_at = host.now
+                for publication in document.publications():
+                    # Fresh doc ids per round keep the delivery stream
+                    # (and its p99) live past client-side dedup.
+                    host.submit(
+                        PUBLISHER,
+                        PublishMsg(
+                            publication=dataclasses.replace(
+                                publication,
+                                doc_id="%s.r%d"
+                                % (publication.doc_id, round_no),
+                            ),
+                            publisher_id=PUBLISHER,
+                            doc_size_bytes=size,
+                            issued_at=issued_at,
+                        ),
+                    )
+            quiesce()
+            host.sample_telemetry()
+            frame = render_top(plane, now=host.now)
+            if not args.plain and sys.stdout.isatty():
+                sys.stdout.write("\x1b[2J\x1b[H")
+            print("round %d/%d (%.2fs)" % (
+                round_no + 1, args.rounds, _time.monotonic() - started
+            ))
+            print(frame)
+            if endpoint is not None:
+                endpoint.write()
+
+        health = plane.health()
+        worst = sorted(set(health.values()))
+        print(
+            "final health: %s (%d transitions, alerts: %s)"
+            % (
+                ", ".join(
+                    "%s=%s" % (b, s) for b, s in sorted(health.items())
+                ),
+                len(plane.monitor.transitions),
+                dict(plane.monitor.alerts) or "none",
+            )
+        )
+        if args.timeline:
+            path = plane.write_timeline(
+                args.timeline,
+                meta={
+                    "command": "top",
+                    "backend": args.backend,
+                    "levels": args.levels,
+                    "rounds": args.rounds,
+                    "overload": args.overload,
+                    "seed": args.seed,
+                },
+            )
+            print("telemetry timeline written to %s" % path)
+        return 0 if worst in ([], ["healthy"]) or args.overload else 1
+    finally:
+        if endpoint is not None:
+            endpoint.close()
+        teardown()
+
+
+def cmd_timeline(args) -> int:
+    """Render a recorded telemetry timeline (``repro stats
+    --sample-every`` / ``repro top --timeline``) as per-broker health
+    plus a sparkline trend of one sampled metric."""
+    from repro.obs.telemetry import load_timeline, render_timeline
+
+    document = load_timeline(args.file)
+    print(
+        render_timeline(
+            document,
+            metric=args.metric,
+            broker=args.broker,
+            width=args.width,
+        )
+    )
     return 0
 
 
@@ -688,10 +940,125 @@ def build_parser() -> argparse.ArgumentParser:
         help="publish each document's paths as one batch "
         "(Overlay.submit_batch)",
     )
+    p.add_argument(
+        "--sample-every",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        dest="sample_every",
+        help="turn on the live telemetry plane and sample every broker "
+        "at this virtual-clock period, writing the timeline to "
+        "--timeline-out (see docs/telemetry.md)",
+    )
+    p.add_argument(
+        "--timeline-out",
+        metavar="FILE",
+        default="telemetry-timeline.json",
+        help="destination of the --sample-every timeline (default "
+        "telemetry-timeline.json; render with 'repro timeline')",
+    )
     _add_engine_option(p)
     _add_views_option(p)
     _add_faults_option(p)
     p.set_defaults(fn=cmd_stats)
+
+    p = sub.add_parser(
+        "top",
+        help="live per-broker health/telemetry table while a workload "
+        "runs on a real concurrency backend",
+    )
+    p.add_argument(
+        "--backend",
+        choices=("asyncio", "multiprocess"),
+        default="asyncio",
+    )
+    p.add_argument("--levels", type=int, default=3, help="broker tree depth")
+    p.add_argument(
+        "--queries", type=int, default=2, help="subscriptions per leaf"
+    )
+    p.add_argument(
+        "--rounds",
+        type=int,
+        default=5,
+        help="publish rounds (one table refresh per round)",
+    )
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--strategy", choices=RoutingConfig.ALL_NAMES)
+    p.add_argument(
+        "--interval",
+        type=float,
+        default=0.05,
+        help="telemetry sampling period, wall seconds",
+    )
+    p.add_argument(
+        "--overload",
+        metavar="BROKER",
+        default=None,
+        help="slow this broker down (multiprocess: dispatcher service "
+        "delay; asyncio: its local subscribers consume slowly) so the "
+        "health escalation is watchable",
+    )
+    p.add_argument(
+        "--overload-delay",
+        type=float,
+        default=0.01,
+        help="per-message delay, seconds, for --overload (default 0.01)",
+    )
+    p.add_argument(
+        "--queue-slo",
+        metavar="LOW,HIGH",
+        default=None,
+        help="override the queue-depth SLO thresholds "
+        "(degraded,overloaded) — pair with --overload so the demo "
+        "escalation crosses them on small workloads",
+    )
+    p.add_argument(
+        "--plain",
+        action="store_true",
+        help="never clear the screen between refreshes",
+    )
+    p.add_argument(
+        "--timeline",
+        metavar="FILE",
+        default=None,
+        help="also record the run's telemetry timeline here",
+    )
+    p.add_argument(
+        "--prom-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve GET /metrics on 127.0.0.1:PORT while running "
+        "(0 picks an ephemeral port)",
+    )
+    p.add_argument(
+        "--prom-textfile",
+        metavar="FILE",
+        default=None,
+        help="atomically rewrite a node-exporter-style textfile after "
+        "every round",
+    )
+    p.set_defaults(fn=cmd_top)
+
+    p = sub.add_parser(
+        "timeline",
+        help="render a recorded telemetry timeline (from 'repro stats "
+        "--sample-every' or 'repro top --timeline')",
+    )
+    p.add_argument("file", help="telemetry-timeline.json path")
+    p.add_argument(
+        "--metric",
+        default=None,
+        help="sampled metric to trend (default: queue_depth or the "
+        "busiest recorded metric)",
+    )
+    p.add_argument(
+        "--broker", default=None, help="restrict the table to one broker"
+    )
+    p.add_argument(
+        "--width", type=int, default=60, help="sparkline width, columns"
+    )
+    p.set_defaults(fn=cmd_timeline)
 
     p = sub.add_parser(
         "audit",

@@ -48,6 +48,7 @@ def run_traffic_experiment(
     matching_engine: str = "auto",
     shard_count: int = 4,
     views: bool = False,
+    telemetry_interval: Optional[float] = None,
 ) -> ExperimentResult:
     """Run the Tables 2/3 experiment on a ``levels``-deep broker tree.
 
@@ -69,6 +70,10 @@ def run_traffic_experiment(
     ``views`` enables edge materialized views (:mod:`repro.views`) on
     every broker; delivered document sets are unaffected (views serve
     byte-identical deliveries for hot groups).
+
+    ``telemetry_interval`` (virtual seconds) turns on the live
+    telemetry plane per strategy; each strategy's timeline document
+    lands in ``result.telemetry[name]`` (see docs/telemetry.md).
     """
     if strategies is None:
         strategies = RoutingConfig.ALL_NAMES
@@ -90,6 +95,7 @@ def run_traffic_experiment(
         ),
     )
 
+    result.telemetry = {}
     baseline_deliveries = None
     for name in strategies:
         config = _configure(
@@ -104,6 +110,8 @@ def run_traffic_experiment(
             faults=faults,
             batching=batching,
         )
+        if telemetry_interval is not None:
+            overlay.enable_telemetry(interval=telemetry_interval)
         rng = random.Random(seed)
         leaves = overlay.leaf_brokers()
         subscribers = []
@@ -137,6 +145,10 @@ def run_traffic_experiment(
                     "the baseline — routing correctness violated" % name
                 )
 
+        if telemetry_interval is not None:
+            result.telemetry[name] = overlay.telemetry.timeline_document(
+                meta={"strategy": name, "levels": levels}
+            )
         mean_delay = overlay.stats.mean_notification_delay()
         result.add_row(
             method=name,

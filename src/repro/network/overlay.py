@@ -18,6 +18,7 @@ from repro import obs
 from repro.broker.broker import Broker
 from repro.broker.core import (
     MERGE_SWEEP_TIMER,
+    TELEMETRY_TIMER,
     BrokerCore,
     Deliver,
     Replay,
@@ -36,6 +37,7 @@ from repro.network.latency import ClusterLatency, LatencyModel
 from repro.network.simulator import Simulator
 from repro.network.stats import DeliveryRecord, NetworkStats
 from repro.obs import MetricsRegistry
+from repro.obs.telemetry import TelemetryPlane, broker_gauges
 from repro.obs.tracing import Span, TraceContext, TraceRecorder, stamp, trace_of
 
 
@@ -123,6 +125,20 @@ class Overlay:
         self._held_while_down: Dict[
             str, List[Tuple[Message, object, int, Optional[Span]]]
         ] = {}
+        #: Live telemetry plane (see :meth:`enable_telemetry`); None
+        #: keeps the original zero-overhead paths.
+        self.telemetry = None
+        #: Telemetry timer events currently in the simulator heap; the
+        #: sampler parks itself when they are the only pending work so
+        #: ``sim.run()`` still quiesces.
+        self._telemetry_scheduled = 0
+        self._telemetry_parked: Set[str] = set()
+        #: In-progress message count per broker while queueing —
+        #: the ``queue_depth`` gauge the sampler reads.
+        self._queue_len: Dict[str, int] = {}
+        #: Deterministic per-broker overload knob: extra processing
+        #: seconds charged per message on top of ``processing_scale``.
+        self.processing_delay: Dict[str, float] = {}
         if faults is not None:
             self.install_faults(faults)
 
@@ -274,6 +290,10 @@ class Overlay:
         )
         self.cores[broker_id] = core
         self.brokers[broker_id] = core.broker
+        if self.telemetry is not None:
+            self._effect_pairs(
+                broker_id, [core.enable_telemetry(self.telemetry.interval)]
+            )
         return core.broker
 
     def connect(self, a: str, b: str):
@@ -385,6 +405,7 @@ class Overlay:
         broker_id = self._client_home.get(client_id)
         if broker_id is None:
             raise RoutingError("unknown client %r" % client_id)
+        self._poke_telemetry()
         tracing = self.tracing
         root: Optional[Span] = None
         if tracing is not None and trace_of(message) is None:
@@ -424,6 +445,7 @@ class Overlay:
         broker_id = self._client_home.get(client_id)
         if broker_id is None:
             raise RoutingError("unknown client %r" % client_id)
+        self._poke_telemetry()
         tracing = self.tracing
         contexts = {}
         if tracing is not None:
@@ -528,6 +550,8 @@ class Overlay:
                     ] = "replay"
                     pairs.append((effect.client_id, message))
             elif isinstance(effect, TimerRequest):
+                if effect.name == TELEMETRY_TIMER:
+                    self._telemetry_scheduled += 1
                 self.sim.schedule(
                     effect.delay,
                     lambda e=effect: self._on_broker_timer(broker_id, e.name),
@@ -538,12 +562,112 @@ class Overlay:
         return pairs
 
     def _on_broker_timer(self, broker_id: str, name: str):
+        if name == TELEMETRY_TIMER:
+            self._on_telemetry_timer(broker_id)
+            return
         if broker_id in self._down:
             return
         for destination, message in self._effect_pairs(
             broker_id, self.cores[broker_id].on_timer(name)
         ):
             self._forward(broker_id, destination, message, 0.0, 1)
+
+    def _on_telemetry_timer(self, broker_id: str):
+        """One sampling tick.  The sampler re-arms itself only while
+        other (non-telemetry) events are pending — otherwise it parks
+        and :meth:`submit`/:meth:`submit_batch` wake it — so
+        ``sim.run()`` still quiesces with telemetry enabled."""
+        self._telemetry_scheduled -= 1
+        plane = self.telemetry
+        if plane is None:
+            return
+        if broker_id in self._down:
+            # Dead brokers don't sample; park the timer so recovery's
+            # next submission restarts it.
+            self._telemetry_parked.add(broker_id)
+            return
+        core = self.cores[broker_id]
+        if core.telemetry_interval is None:
+            # The core was rebuilt on recovery; re-arm it in place.
+            core.telemetry_interval = plane.interval
+        effects = core.on_timer(TELEMETRY_TIMER)
+        self._sample_broker(broker_id)
+        if self.sim.pending() > self._telemetry_scheduled:
+            self._effect_pairs(broker_id, effects)
+        else:
+            # Only telemetry timers remain: drop the re-arm request.
+            self._effect_pairs(
+                broker_id,
+                [e for e in effects if not isinstance(e, TimerRequest)],
+            )
+            self._telemetry_parked.add(broker_id)
+
+    def _sample_broker(self, broker_id: str):
+        plane = self.telemetry
+        now = self.sim.now
+        plane.maybe_record_cluster(now)
+        gauges = {
+            "queue_depth": float(self._queue_len.get(broker_id, 0)),
+            "queue_lag": max(
+                0.0, self._busy_until.get(broker_id, 0.0) - now
+            ),
+            "audit_degraded": 1.0
+            if any(
+                getattr(a, "stateless_recoveries", None)
+                for a in self._auditors
+            )
+            else 0.0,
+        }
+        gauges.update(broker_gauges(self.brokers[broker_id]))
+        counters = {
+            "handled": float(sum(self.brokers[broker_id].stats.values())),
+        }
+        plane.record(broker_id, now, gauges=gauges, counters=counters)
+
+    def enable_telemetry(self, plane=None, interval: float = 0.05, **kwargs):
+        """Turn on the live telemetry plane: every broker core arms a
+        ``telemetry-sample`` timer on the virtual clock and each tick
+        records queue depth/lag, matcher and view gauges, and handled
+        deltas into *plane* (a fresh
+        :class:`~repro.obs.telemetry.TelemetryPlane` bound to this
+        overlay's registry by default; extra keyword arguments —
+        ``rules``, ``ring_capacity``, ``clear_after`` — configure it).
+        Health transitions dump the flight recorder when tracing is
+        also enabled."""
+        if self.telemetry is not None:
+            return self.telemetry
+        if plane is None:
+            plane = TelemetryPlane(
+                registry=self.metrics, interval=interval, **kwargs
+            )
+        self.telemetry = plane
+        plane.add_transition_hook(self._on_health_transition)
+        for broker_id in sorted(self.cores):
+            self._effect_pairs(
+                broker_id,
+                [self.cores[broker_id].enable_telemetry(plane.interval)],
+            )
+        return plane
+
+    def _on_health_transition(self, broker_id, previous, state, rule, sample):
+        if self.tracing is not None:
+            self.tracing.flight.dump(
+                "health-%s-%s" % (broker_id, state), time=self.sim.now
+            )
+
+    def _poke_telemetry(self):
+        """Re-arm parked telemetry timers — new work just arrived."""
+        if self.telemetry is None or not self._telemetry_parked:
+            return
+        parked, self._telemetry_parked = self._telemetry_parked, set()
+        for broker_id in sorted(parked):
+            if broker_id in self._down:
+                self._telemetry_parked.add(broker_id)
+                continue
+            self._effect_pairs(
+                broker_id,
+                [TimerRequest(TELEMETRY_TIMER, self.telemetry.interval)],
+            )
 
     def transport_deliver(
         self, broker_id: str, message: Message, from_hop: object, hops: int,
@@ -735,6 +859,8 @@ class Overlay:
         emit ``queue.wait`` spans.
         """
         processing = elapsed * self.processing_scale
+        if self.processing_delay:
+            processing += self.processing_delay.get(broker_id, 0.0)
         waited = 0.0
         if self.queueing:
             queued_from = max(
@@ -746,6 +872,18 @@ class Overlay:
             waited = queued_from - self.sim.now
             if self.metrics.enabled:
                 self.metrics.histogram("network.queue_wait").record(waited)
+            if self.telemetry is not None:
+                # Track the instantaneous backlog for the sampler: one
+                # message in progress from now until its finish time.
+                self._queue_len[broker_id] = (
+                    self._queue_len.get(broker_id, 0) + 1
+                )
+                self.sim.schedule(
+                    processing,
+                    lambda b=broker_id: self._queue_len.__setitem__(
+                        b, self._queue_len[b] - 1
+                    ),
+                )
         return processing, waited
 
     def _forward(
@@ -865,6 +1003,11 @@ class Overlay:
                     hops=hops,
                 )
             )
+            if self.telemetry is not None:
+                self.telemetry.note_delivery(
+                    self._client_home.get(client_id),
+                    self.sim.now - message.issued_at,
+                )
 
     def run(self, max_events: Optional[int] = None) -> int:
         """Drain all pending traffic; returns processed event count."""

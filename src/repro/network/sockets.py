@@ -20,12 +20,16 @@ A deployment is driven programmatically::
     ...
     deployment.stop()
 
-Threading model: one acceptor plus one reader thread per connection;
-each broker serialises its message handling with a lock (brokers are
-single-threaded state machines, exactly as in the simulator).  The
-implementation favours clarity over raw throughput — it exists to show
-the routing layer is transport-independent and to back the integration
-tests in tests/test_sockets.py.
+Threading model: one acceptor plus one reader thread per connection,
+feeding a per-node inbox queue drained by a single dispatcher thread
+(brokers are single-threaded state machines, exactly as in the
+simulator).  Reader threads only ack and enqueue, so a slow broker's
+backlog is *visible*: the inbox depth is the queue-saturation gauge
+the telemetry plane samples, and ``service_delay`` turns one node into
+a deterministic bottleneck for overload scenarios.  The implementation
+favours clarity over raw throughput — it exists to show the routing
+layer is transport-independent and to back the integration tests in
+tests/test_sockets.py.
 
 Reliability: every message travels as a sequence-numbered data frame
 (:func:`repro.network.wire.encode_data_frame`) acknowledged per frame;
@@ -39,10 +43,12 @@ exercise retransmission without leaving localhost.
 
 from __future__ import annotations
 
+import queue
 import random
 import socket
 import threading
 import time
+import traceback
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro import obs
@@ -55,7 +61,7 @@ from repro.network.wire import (
     encode_ack_frame,
     encode_data_frame,
 )
-from repro.obs.tracing import mint_context, stamp, trace_of
+from repro.obs.tracing import Span, mint_context, next_span_id, stamp, trace_of
 from repro.runtime.base import scaled
 
 
@@ -271,11 +277,20 @@ class SocketBrokerNode:
         loss_rate: float = 0.0,
         loss_seed: int = 0,
         rto: float = 0.05,
+        service_delay: float = 0.0,
     ):
         self.broker = Broker(broker_id, config=config, universe=universe)
         self.broker_id = broker_id
         self.loss_rate = loss_rate
         self.rto = rto
+        #: Extra seconds the dispatcher sleeps before each message — a
+        #: deterministic bottleneck knob for overload scenarios.
+        self.service_delay = service_delay
+        #: Optional :class:`~repro.obs.flight.FlightRecorderSet`; when
+        #: set, every handled message records a "hop" span into the
+        #: ring so a crash (or health transition) dump carries the
+        #: node's recent history.
+        self.flight = None
         self._loss_rng = random.Random((loss_seed, broker_id).__repr__())
         self._loss_lock = threading.Lock()
         self._listener = socket.create_server((host, port))
@@ -286,6 +301,17 @@ class SocketBrokerNode:
             target=self._accept_loop, daemon=True
         )
         self._stopping = threading.Event()
+        #: Inbound messages awaiting the dispatcher thread.
+        self._inbox: "queue.Queue[Tuple[str, Message]]" = queue.Queue()
+        #: Enqueued-or-dispatching count (the queue-depth gauge).
+        self._dispatch_pending = 0
+        self._pending_lock = threading.Lock()
+        self._dispatch_thread = threading.Thread(
+            target=self._dispatch_loop, daemon=True
+        )
+        #: Tracebacks from handler failures (the dispatcher must not
+        #: die silently; tests and the worker loop surface these).
+        self.errors: List[str] = []
         self.delivered: List[Tuple[str, Message]] = []
         #: With ``record_hops`` every handled message appends
         #: ``(trace_id, kind, from_hop, detail)`` — the per-process
@@ -322,16 +348,29 @@ class SocketBrokerNode:
         return totals
 
     def pending_count(self) -> int:
-        """Incomplete reliable exchanges across this node's links —
-        zero on every node is the transport half of quiescence."""
+        """Incomplete work from this node's point of view: unfinished
+        reliable exchanges across its links plus inbox messages not yet
+        dispatched — zero on every node is quiescence."""
         with self._lock:
             connections = list(self._connections.values())
-        return sum(connection.pending_count() for connection in connections)
+        with self._pending_lock:
+            inbox = self._dispatch_pending
+        return (
+            sum(connection.pending_count() for connection in connections)
+            + inbox
+        )
+
+    def inbox_depth(self) -> int:
+        """Messages enqueued or being dispatched right now — the
+        queue-saturation gauge the telemetry sampler reads."""
+        with self._pending_lock:
+            return self._dispatch_pending
 
     # -- lifecycle ---------------------------------------------------------
 
     def start(self):
         self._accept_thread.start()
+        self._dispatch_thread.start()
 
     def stop(self):
         self._stopping.set()
@@ -410,6 +449,46 @@ class SocketBrokerNode:
         self._on_message(client_id, message)
 
     def _on_message(self, from_hop: str, message: Message):
+        """Enqueue one inbound message for the dispatcher thread.
+
+        Called from reader threads and local clients; the pending count
+        goes up before the enqueue so a quiescence probe can never see
+        "all idle" with a message between queue and handler."""
+        with self._pending_lock:
+            self._dispatch_pending += 1
+        self._inbox.put((from_hop, message))
+
+    def _dispatch_loop(self):
+        while True:
+            try:
+                from_hop, message = self._inbox.get(timeout=0.05)
+            except queue.Empty:
+                if self._stopping.is_set():
+                    return
+                continue
+            try:
+                if self.service_delay > 0.0:
+                    time.sleep(self.service_delay)
+                self._dispatch(from_hop, message)
+            except Exception:
+                self.errors.append(traceback.format_exc())
+            finally:
+                with self._pending_lock:
+                    self._dispatch_pending -= 1
+
+    def _dispatch(self, from_hop: str, message: Message):
+        started = time.monotonic()
+        self._handle(from_hop, message)
+        if self.flight is not None:
+            context = trace_of(message)
+            self.flight.record(Span(
+                context.trace_id if context is not None else "-",
+                next_span_id(), None, "hop", self.broker_id,
+                started, time.monotonic(),
+                attrs={"kind": message.kind, "from": str(from_hop)},
+            ))
+
+    def _handle(self, from_hop: str, message: Message):
         with self._lock:
             if self.record_hops:
                 context = trace_of(message)

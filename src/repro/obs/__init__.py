@@ -49,6 +49,21 @@ from repro.obs.registry import (
     MetricsRegistry,
     register_collector,
 )
+from repro.obs.telemetry import (
+    DEGRADED,
+    HEALTHY,
+    OVERLOADED,
+    HealthMonitor,
+    PrometheusEndpoint,
+    SLORule,
+    TelemetryPlane,
+    TelemetryRing,
+    broker_gauges,
+    default_slo_rules,
+    load_timeline,
+    render_timeline,
+    render_top,
+)
 from repro.obs.tracing import (
     Span,
     TraceContext,
@@ -64,25 +79,38 @@ from repro.obs.tracing import (
 
 __all__ = [
     "Counter",
+    "DEGRADED",
     "FlightRecorder",
     "FlightRecorderSet",
     "Gauge",
+    "HEALTHY",
+    "HealthMonitor",
     "Histogram",
     "MetricsRegistry",
     "NOOP_TIMER",
+    "OVERLOADED",
+    "PrometheusEndpoint",
+    "SLORule",
     "Span",
+    "TelemetryPlane",
+    "TelemetryRing",
     "TraceContext",
     "TraceRecorder",
     "TraceTree",
     "assemble_traces",
+    "broker_gauges",
     "current_scope",
+    "default_slo_rules",
     "disable_metrics",
     "enable_metrics",
     "get_registry",
     "inc",
+    "load_timeline",
     "mint_context",
     "observe",
     "register_collector",
+    "render_timeline",
+    "render_top",
     "set_registry",
     "snapshot_document",
     "stamp",

@@ -10,8 +10,11 @@ Two further exporters serve the tracing layer (``repro trace
 --export``): :func:`to_chrome_trace` renders spans as Chrome
 trace-event JSON loadable in Perfetto / ``chrome://tracing``, and
 :func:`to_prometheus` renders a registry in the Prometheus text
-exposition format (histograms become summaries with the p50/p95/p99
-quantiles the registry already computes).
+exposition format — counters with the conventional ``_total`` suffix,
+gauges verbatim, and histograms as true Prometheus histograms with
+cumulative ``_bucket{le="..."}`` series, ``_sum`` and ``_count``.
+The telemetry plane's opt-in HTTP/textfile endpoint (see
+``docs/telemetry.md``) serves this rendering.
 """
 
 from __future__ import annotations
@@ -20,7 +23,7 @@ import json
 import re
 from typing import Dict, List, Optional
 
-from repro.obs.registry import MetricsRegistry
+from repro.obs.registry import MAX_BUCKETS, MetricsRegistry, bucket_bounds
 
 
 def snapshot_document(
@@ -130,46 +133,71 @@ def to_chrome_trace(spans) -> Dict[str, object]:
 def to_prometheus(registry: MetricsRegistry) -> str:
     """The Prometheus text exposition format for a registry snapshot.
 
-    Counters export as ``counter`` (with the conventional ``_total``
-    suffix), gauges as ``gauge``, histograms as ``summary`` carrying the
-    p50/p95/p99 quantiles plus ``_sum``/``_count``.
+    Every family carries ``# HELP`` and ``# TYPE`` lines.  Counters
+    export as ``counter`` with the conventional ``_total`` suffix,
+    gauges as ``gauge``, and histograms as real Prometheus histograms:
+    one cumulative ``_bucket{le="<upper>"}`` series per occupied log
+    bucket (the overflow bucket folds into the mandatory
+    ``le="+Inf"`` series), plus ``_sum`` and ``_count``.  ``_count``
+    and ``+Inf`` are derived from the same bucket copy, so the family
+    is internally consistent even if recorders race the exporter.
     """
     lines: List[str] = []
     for kind, name, instrument in registry.iter_metrics():
         metric = _prom_name(name)
         if kind == "counter":
-            lines.append("# TYPE %s_total counter" % metric)
+            family = metric + "_total"
             lines.append(
-                "%s_total %s" % (metric, _prom_value(instrument.snapshot()))
+                "# HELP %s Cumulative count of %s." % (family, _prom_help(name))
+            )
+            lines.append("# TYPE %s counter" % family)
+            lines.append(
+                "%s %s" % (family, _prom_value(instrument.snapshot()))
             )
         elif kind == "gauge":
+            lines.append(
+                "# HELP %s Last observed value of %s." % (metric, _prom_help(name))
+            )
             lines.append("# TYPE %s gauge" % metric)
             lines.append(
                 "%s %s" % (metric, _prom_value(instrument.snapshot()))
             )
         else:
-            stats = instrument.snapshot()
-            lines.append("# TYPE %s summary" % metric)
-            for quantile, key in (
-                ("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99"),
-            ):
-                value = stats.get(key)
-                if value is not None:
-                    lines.append(
-                        '%s{quantile="%s"} %s'
-                        % (metric, quantile, _prom_value(value))
-                    )
             lines.append(
-                "%s_sum %s" % (metric, _prom_value(stats.get("sum") or 0))
+                "# HELP %s Distribution of %s (log-bucketed)."
+                % (metric, _prom_help(name))
             )
-            lines.append(
-                "%s_count %s" % (metric, _prom_value(stats.get("count") or 0))
-            )
+            lines.append("# TYPE %s histogram" % metric)
+            cumulative = 0
+            for index, count in instrument.bucket_counts():
+                if index >= MAX_BUCKETS:
+                    # Overflow observations only appear in +Inf.
+                    cumulative += count
+                    continue
+                cumulative += count
+                upper = bucket_bounds(index)[1]
+                lines.append(
+                    '%s_bucket{le="%s"} %d'
+                    % (metric, _prom_le(upper), cumulative)
+                )
+            lines.append('%s_bucket{le="+Inf"} %d' % (metric, cumulative))
+            lines.append("%s_sum %s" % (metric, _prom_value(instrument.total)))
+            lines.append("%s_count %d" % (metric, cumulative))
     return "\n".join(lines) + ("\n" if lines else "")
 
 
 def _prom_name(name: str) -> str:
     return re.sub(r"[^a-zA-Z0-9_:]", "_", "repro_" + name)
+
+
+def _prom_help(name: str) -> str:
+    # HELP text must escape backslashes and newlines; metric names here
+    # are dotted identifiers, so quoting the raw name is enough.
+    return "'%s'" % name.replace("\\", "\\\\").replace("\n", " ")
+
+
+def _prom_le(upper: float) -> str:
+    return "%.6g" % upper
 
 
 def _prom_value(value) -> str:

@@ -23,12 +23,22 @@ A disabled :class:`MetricsRegistry` costs one attribute check per
 instrumentation site: ``timer()`` returns a shared no-op context
 manager (no allocation, no clock read) and ``inc``/``observe`` return
 immediately.
+
+Instruments are safe under concurrent access: the asyncio backend's
+shard-probe executor threads record into the same registry the event
+loop reads, and the telemetry sampler takes snapshots/deltas while
+recording continues.  Counters and histograms serialise mutation and
+snapshotting behind a per-instrument lock (gauge writes are a single
+atomic assignment and stay lock-free); the registry serialises
+instrument creation so two threads asking for the same name get the
+same object.
 """
 
 from __future__ import annotations
 
 import json
 import math
+import threading
 from time import perf_counter
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
@@ -46,13 +56,15 @@ MAX_BUCKETS = 520
 class Counter:
     """A monotonically increasing count."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
     def __init__(self):
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int = 1):
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def snapshot(self) -> int:
         return self.value
@@ -62,7 +74,10 @@ class Counter:
 
 
 class Gauge:
-    """A last-value-wins measurement."""
+    """A last-value-wins measurement.
+
+    ``set`` is a single attribute assignment — already atomic — so the
+    gauge carries no lock."""
 
     __slots__ = ("value",)
 
@@ -96,7 +111,7 @@ def bucket_bounds(index: int) -> Tuple[float, float]:
 class Histogram:
     """Streaming log-bucketed value distribution."""
 
-    __slots__ = ("_buckets", "count", "total", "min", "max")
+    __slots__ = ("_buckets", "count", "total", "min", "max", "_lock")
 
     def __init__(self):
         self._buckets: Dict[int, int] = {}
@@ -104,16 +119,19 @@ class Histogram:
         self.total = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        # Reentrant: snapshot() reads quantiles while holding the lock.
+        self._lock = threading.RLock()
 
     def record(self, value: float):
-        self.count += 1
-        self.total += value
-        if self.min is None or value < self.min:
-            self.min = value
-        if self.max is None or value > self.max:
-            self.max = value
-        index = bucket_index(value)
-        self._buckets[index] = self._buckets.get(index, 0) + 1
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+            index = bucket_index(value)
+            self._buckets[index] = self._buckets.get(index, 0) + 1
 
     @property
     def overflow_count(self) -> int:
@@ -130,54 +148,69 @@ class Histogram:
         error at ~GROWTH/2; the result is clamped to [min, max]."""
         if not 0.0 < fraction <= 1.0:
             raise ValueError("fraction must be in (0, 1]")
-        if not self.count:
-            return None
-        rank = max(1, math.ceil(fraction * self.count))
-        if rank >= self.count:
-            return self.max
-        cumulative = 0
-        first = True
-        for index in sorted(self._buckets):
-            cumulative += self._buckets[index]
-            if cumulative >= rank:
-                if first:
-                    # Every value below this rank shares the lowest
-                    # occupied bucket; the observed minimum is the most
-                    # faithful representative (and makes single-bucket
-                    # and extreme-skew inputs exact).
-                    return self.min
-                if index >= MAX_BUCKETS:
-                    return self.max
-                lower, upper = bucket_bounds(index)
-                midpoint = math.sqrt(lower * upper)
-                return min(max(midpoint, self.min), self.max)
-            first = False
-        return self.max  # unreachable: cumulative == count >= rank
+        with self._lock:
+            if not self.count:
+                return None
+            rank = max(1, math.ceil(fraction * self.count))
+            if rank >= self.count:
+                return self.max
+            cumulative = 0
+            first = True
+            for index in sorted(self._buckets):
+                cumulative += self._buckets[index]
+                if cumulative >= rank:
+                    if first:
+                        # Every value below this rank shares the lowest
+                        # occupied bucket; the observed minimum is the
+                        # most faithful representative (and makes
+                        # single-bucket and extreme-skew inputs exact).
+                        return self.min
+                    if index >= MAX_BUCKETS:
+                        return self.max
+                    lower, upper = bucket_bounds(index)
+                    midpoint = math.sqrt(lower * upper)
+                    return min(max(midpoint, self.min), self.max)
+                first = False
+            return self.max  # unreachable: cumulative == count >= rank
+
+    def bucket_counts(self) -> List[Tuple[int, int]]:
+        """Sorted ``(bucket_index, count)`` pairs — a consistent copy
+        exporters can iterate without racing recorders."""
+        with self._lock:
+            return sorted(self._buckets.items())
 
     def merge(self, other: "Histogram") -> "Histogram":
         """Fold *other* into this histogram (bucket-wise addition)."""
-        for index, count in other._buckets.items():
-            self._buckets[index] = self._buckets.get(index, 0) + count
-        self.count += other.count
-        self.total += other.total
-        if other.min is not None and (self.min is None or other.min < self.min):
-            self.min = other.min
-        if other.max is not None and (self.max is None or other.max > self.max):
-            self.max = other.max
+        with other._lock:
+            other_buckets = dict(other._buckets)
+            other_count = other.count
+            other_total = other.total
+            other_min = other.min
+            other_max = other.max
+        with self._lock:
+            for index, count in other_buckets.items():
+                self._buckets[index] = self._buckets.get(index, 0) + count
+            self.count += other_count
+            self.total += other_total
+            if other_min is not None and (self.min is None or other_min < self.min):
+                self.min = other_min
+            if other_max is not None and (self.max is None or other_max > self.max):
+                self.max = other_max
         return self
 
     def snapshot(self) -> Dict[str, object]:
-        return {
-            "count": self.count,
-            "sum": self.total,
-            "mean": self.mean,
-            "min": self.min,
-            "max": self.max,
-            "p50": self.quantile(0.50),
-            "p95": self.quantile(0.95),
-            "p99": self.quantile(0.99),
-            "overflow": self.overflow_count,
-        }
+        with self._lock:
+            return {
+                "count": self.count,
+                "sum": self.total,
+                "mean": self.mean,
+                "min": self.min,
+                "max": self.max,
+                "p50": self.quantile(0.50),
+                "p95": self.quantile(0.95),
+                "p99": self.quantile(0.99),
+                "overflow": self.overflow_count,
+            }
 
     def __repr__(self):
         return "Histogram(count=%d, mean=%r)" % (self.count, self.mean)
@@ -244,6 +277,7 @@ class MetricsRegistry:
 
     def __init__(self, enabled: bool = True):
         self.enabled = enabled
+        self._lock = threading.Lock()
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
@@ -261,9 +295,10 @@ class MetricsRegistry:
     def reset(self):
         """Drop every recorded value (instrument objects are recreated
         on next use, so cached references go stale deliberately)."""
-        self._counters.clear()
-        self._gauges.clear()
-        self._histograms.clear()
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
         return self
 
     # -- instruments ------------------------------------------------------
@@ -271,19 +306,28 @@ class MetricsRegistry:
     def counter(self, name: str) -> Counter:
         counter = self._counters.get(name)
         if counter is None:
-            counter = self._counters[name] = Counter()
+            with self._lock:
+                counter = self._counters.get(name)
+                if counter is None:
+                    counter = self._counters[name] = Counter()
         return counter
 
     def gauge(self, name: str) -> Gauge:
         gauge = self._gauges.get(name)
         if gauge is None:
-            gauge = self._gauges[name] = Gauge()
+            with self._lock:
+                gauge = self._gauges.get(name)
+                if gauge is None:
+                    gauge = self._gauges[name] = Gauge()
         return gauge
 
     def histogram(self, name: str) -> Histogram:
         histogram = self._histograms.get(name)
         if histogram is None:
-            histogram = self._histograms[name] = Histogram()
+            with self._lock:
+                histogram = self._histograms.get(name)
+                if histogram is None:
+                    histogram = self._histograms[name] = Histogram()
         return histogram
 
     # -- recording shortcuts ----------------------------------------------
@@ -321,19 +365,30 @@ class MetricsRegistry:
         similar lazily-exported state) into this registry as gauges."""
         for collect in _COLLECTORS:
             collect(self)
+        with self._lock:
+            counters = sorted(self._counters.items())
+            gauges = sorted(self._gauges.items())
+            histograms = sorted(self._histograms.items())
         return {
-            "counters": {
-                name: counter.snapshot()
-                for name, counter in sorted(self._counters.items())
-            },
-            "gauges": {
-                name: gauge.snapshot()
-                for name, gauge in sorted(self._gauges.items())
-            },
-            "histograms": {
-                name: histogram.snapshot()
-                for name, histogram in sorted(self._histograms.items())
-            },
+            "counters": {name: c.snapshot() for name, c in counters},
+            "gauges": {name: g.snapshot() for name, g in gauges},
+            "histograms": {name: h.snapshot() for name, h in histograms},
+        }
+
+    def counter_values(
+        self, prefixes: Optional[Tuple[str, ...]] = None
+    ) -> Dict[str, int]:
+        """Current cumulative counter values, optionally filtered by
+        name prefix — the input the telemetry plane differentiates into
+        per-interval deltas."""
+        with self._lock:
+            items = list(self._counters.items())
+        if prefixes is None:
+            return {name: c.value for name, c in items}
+        return {
+            name: c.value
+            for name, c in items
+            if name.startswith(prefixes)
         }
 
     def to_json(self, indent: int = 2) -> str:
@@ -344,19 +399,24 @@ class MetricsRegistry:
         first, as in :meth:`snapshot`)."""
         for collect in _COLLECTORS:
             collect(self)
-        for name, counter in sorted(self._counters.items()):
+        with self._lock:
+            counters = sorted(self._counters.items())
+            gauges = sorted(self._gauges.items())
+            histograms = sorted(self._histograms.items())
+        for name, counter in counters:
             yield "counter", name, counter
-        for name, gauge in sorted(self._gauges.items()):
+        for name, gauge in gauges:
             yield "gauge", name, gauge
-        for name, histogram in sorted(self._histograms.items()):
+        for name, histogram in histograms:
             yield "histogram", name, histogram
 
     def metric_names(self) -> List[str]:
-        return sorted(
-            list(self._counters)
-            + list(self._gauges)
-            + list(self._histograms)
-        )
+        with self._lock:
+            return sorted(
+                list(self._counters)
+                + list(self._gauges)
+                + list(self._histograms)
+            )
 
     def __repr__(self):
         return "MetricsRegistry(enabled=%r, metrics=%d)" % (

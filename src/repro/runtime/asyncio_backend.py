@@ -149,6 +149,11 @@ class AsyncioRuntime:
         #: materialized view produced (popped by :meth:`_deliver`).
         self._view_kinds: Dict[Tuple[str, int], str] = {}
         self._issued: Dict[Tuple[str, int], float] = {}
+        #: The live telemetry plane (:meth:`enable_telemetry`); sampled
+        #: by a wall-clock task that is *outside* the pending-message
+        #: accounting — it must never keep :meth:`drain` from settling.
+        self.telemetry = None
+        self._sampler_spawned = False
         self._started = False
         self._closed = False
         # asyncio primitives must be created while the owning loop is
@@ -207,6 +212,8 @@ class AsyncioRuntime:
             for core in self.cores.values():
                 core.set_matching_executor(self.matching_pool)
         self._loop.run_until_complete(self._spawn_topology())
+        if self.telemetry is not None and not self._sampler_spawned:
+            self._loop.run_until_complete(self._spawn_sampler())
 
     async def _spawn_topology(self):
         for broker_id in self.brokers:
@@ -274,6 +281,102 @@ class AsyncioRuntime:
             recorder = TraceRecorder(registry=self.metrics, **kwargs)
         self.tracing = recorder
         return recorder
+
+    def enable_telemetry(self, plane=None, interval: float = 0.05, **kwargs):
+        """Turn on the live telemetry plane: a dedicated wall-clock
+        sampler task wakes every *interval* seconds (while the loop is
+        being driven by :meth:`run`/:meth:`drain`) and records each
+        broker's queue depths, matcher/view gauges and handled deltas
+        into *plane* (a fresh
+        :class:`~repro.obs.telemetry.TelemetryPlane` bound to this
+        runtime's registry by default; extra keyword arguments —
+        ``rules``, ``ring_capacity``, ``clear_after`` — configure it).
+
+        The sampler deliberately lives outside the pending-message
+        accounting: re-arming core ``TimerRequest`` ticks through
+        :meth:`_apply_effect` would hold ``_pending`` above zero forever
+        and hang every drain.  Health transitions dump the flight
+        recorder when tracing is also enabled."""
+        if self.telemetry is not None:
+            return self.telemetry
+        if plane is None:
+            from repro.obs.telemetry import TelemetryPlane
+
+            plane = TelemetryPlane(
+                registry=self.metrics, interval=interval, **kwargs
+            )
+        self.telemetry = plane
+        plane.add_transition_hook(self._on_health_transition)
+        if self._started and not self._sampler_spawned:
+            self._loop.run_until_complete(self._spawn_sampler())
+        return plane
+
+    async def _spawn_sampler(self):
+        self._sampler_spawned = True
+        self._tasks.append(
+            self._loop.create_task(self._telemetry_sampler())
+        )
+
+    async def _telemetry_sampler(self):
+        plane = self.telemetry
+        while True:
+            await asyncio.sleep(plane.interval)
+            try:
+                self.sample_telemetry()
+            except asyncio.CancelledError:  # pragma: no cover
+                raise
+            except BaseException as exc:
+                # A telemetry bug must fail the next drain, not pass
+                # silently (and not crash the loop mid-flight).
+                self._errors.append(exc)
+                self._idle.set()
+                return
+
+    def _on_health_transition(self, broker_id, previous, state, rule, sample):
+        tracing = self.tracing
+        if tracing is not None and getattr(tracing, "flight", None) is not None:
+            tracing.flight.dump(
+                "health-%s-%s" % (broker_id, state), time=self.now
+            )
+
+    def queue_depth(self, broker_id: str) -> int:
+        """Instantaneous backlog attributable to *broker_id*: its inbox
+        plus its outbound link queues plus the delivery queues of its
+        locally attached subscribers."""
+        depth = self._inboxes[broker_id].qsize()
+        for (src, _dst), queue in self._link_queues.items():
+            if src == broker_id:
+                depth += queue.qsize()
+        for client_id, queue in self._client_queues.items():
+            if self._client_home.get(client_id) == broker_id:
+                depth += queue.qsize()
+        return depth
+
+    def sample_telemetry(self):
+        """Take one telemetry sample of every broker right now (the
+        sampler task calls this on its cadence; tests may call it
+        directly for a deterministic sample)."""
+        plane = self.telemetry
+        if plane is None:
+            return
+        from repro.obs.telemetry import broker_gauges
+
+        now = self.now
+        plane.maybe_record_cluster(now)
+        degraded = any(
+            getattr(auditor, "stateless_recoveries", None)
+            for auditor in self._auditors
+        )
+        for broker_id in self.brokers:
+            gauges = {
+                "queue_depth": float(self.queue_depth(broker_id)),
+                "audit_degraded": 1.0 if degraded else 0.0,
+            }
+            gauges.update(broker_gauges(self.brokers[broker_id]))
+            counters = {
+                "handled": float(sum(self.brokers[broker_id].stats.values()))
+            }
+            plane.record(broker_id, now, gauges=gauges, counters=counters)
 
     def submit(self, client_id: str, message: Message):
         """A client hands a message to its edge broker.
@@ -612,16 +715,21 @@ class AsyncioRuntime:
                 else:
                     auditor.observe_delivery(client_id, message)
             key = (message.publication.doc_id, message.publication.path_id)
+            issued_at = self._issued.get(key, message.issued_at)
             self.stats.record_delivery(
                 DeliveryRecord(
                     subscriber_id=client_id,
                     doc_id=message.publication.doc_id,
                     path_id=message.publication.path_id,
-                    issued_at=self._issued.get(key, message.issued_at),
+                    issued_at=issued_at,
                     delivered_at=now,
                     hops=hops,
                 )
             )
+            if self.telemetry is not None:
+                self.telemetry.note_delivery(
+                    self._client_home.get(client_id), now - issued_at
+                )
 
     # -- reporting ---------------------------------------------------------
 

@@ -44,15 +44,37 @@ from repro.obs.tracing import mint_context, stamp, trace_of
 from repro.runtime.base import routing_fingerprint, scaled
 
 
-def _broker_worker(conn, broker_id: str, config, record_hops: bool, rto: float):
+def _broker_worker(
+    conn,
+    broker_id: str,
+    config,
+    record_hops: bool,
+    rto: float,
+    flight_dir: Optional[str] = None,
+    flight_capacity: int = 256,
+    service_delay: float = 0.0,
+):
     """Child-process main: host one socket broker, obey the pipe."""
     # Imported here as well so a ``spawn`` child resolves everything in
     # its own interpreter (under ``fork`` these are already loaded).
     from repro.broker.persistence import snapshot
     from repro.network.sockets import SocketBrokerNode
 
-    node = SocketBrokerNode(broker_id, config=config, port=0, rto=rto)
+    node = SocketBrokerNode(
+        broker_id, config=config, port=0, rto=rto,
+        service_delay=service_delay,
+    )
     node.record_hops = record_hops
+    if flight_dir is not None:
+        # Per-child flight ring: every handled message records a hop
+        # span, so a crash or health dump carries this process's
+        # recent history (dump reasons always carry the broker id —
+        # the children share one output directory).
+        from repro.obs.flight import FlightRecorderSet
+
+        node.flight = FlightRecorderSet(
+            capacity=flight_capacity, out_dir=flight_dir
+        )
     node.start()
     matching_pool = None
     if config is not None and config.matching_engine == "sharded":
@@ -113,6 +135,43 @@ def _broker_worker(conn, broker_id: str, config, record_hops: bool, rto: float):
                 reply = list(node.hop_log)
             elif command == "transport_stats":
                 reply = node.transport_stats()
+            elif command == "telemetry":
+                from repro.obs.telemetry import broker_gauges
+
+                gauges = {
+                    "queue_depth": float(node.inbox_depth()),
+                    "pending": float(node.pending_count()),
+                }
+                gauges.update(broker_gauges(node.broker))
+                stats = node.transport_stats()
+                counters = {
+                    "handled": float(sum(node.broker.stats.values())),
+                    "retransmits": float(stats.get("retransmits", 0)),
+                    "sent": float(stats.get("sent", 0)),
+                }
+                reply = (gauges, counters)
+            elif command == "flight_dump":
+                (reason,) = args
+                reply = None
+                if node.flight is not None:
+                    document = node.flight.dump(
+                        reason, time=time.monotonic()
+                    )
+                    reply = document.get("path")
+            elif command == "errors":
+                reply = list(node.errors)
+            elif command == "crash":
+                # Supervised abort: dump the flight ring the way a
+                # fatal-signal handler would, ack so the parent knows
+                # the dump landed, then die without cleanup.
+                if node.flight is not None:
+                    node.flight.dump(
+                        "crash-%s" % broker_id, time=time.monotonic()
+                    )
+                conn.send(("ok", None))
+                import os
+
+                os._exit(1)
             elif command == "stop":
                 node.stop()
                 if matching_pool is not None:
@@ -208,11 +267,21 @@ class MultiprocessDeployment:
         record_hops: bool = False,
         rto: float = 0.05,
         start_method: Optional[str] = None,
+        flight_dir: Optional[str] = None,
+        flight_capacity: int = 256,
+        service_delay: Optional[Dict[str, float]] = None,
     ):
         self.config = config if config is not None else RoutingConfig.full()
         self.universe = universe
         self.record_hops = record_hops
         self.rto = rto
+        #: Directory the children dump flight rings into (crashes and
+        #: health transitions); None disables per-child flight rings.
+        self.flight_dir = flight_dir
+        self.flight_capacity = flight_capacity
+        #: Per-broker dispatcher slowdown, seconds per message — the
+        #: deterministic overload knob for telemetry scenarios.
+        self.service_delay = dict(service_delay or {})
         if start_method is None:
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else "spawn"
@@ -231,6 +300,10 @@ class MultiprocessDeployment:
         #: deliveries (used by :meth:`verify_hop_traces`).
         self._delivery_traces: Dict[Tuple[str, str, int], Optional[str]] = {}
         self._started = False
+        #: Live telemetry plane (see :meth:`enable_telemetry`).
+        self.telemetry = None
+        self._t0: Optional[float] = None
+        self._last_sample: Optional[float] = None
 
     # -- topology ---------------------------------------------------------
 
@@ -251,6 +324,7 @@ class MultiprocessDeployment:
         """Spawn every broker process, wire every link, and wait for
         all handshakes to finish."""
         self._started = True
+        self._t0 = time.monotonic()
         deadline = time.time() + scaled(timeout)
         for broker_id in self.broker_ids:
             parent_conn, child_conn = self._ctx.Pipe()
@@ -259,6 +333,8 @@ class MultiprocessDeployment:
                 args=(
                     child_conn, broker_id, self.config,
                     self.record_hops, self.rto,
+                    self.flight_dir, self.flight_capacity,
+                    self.service_delay.get(broker_id, 0.0),
                 ),
                 daemon=True,
             )
@@ -380,13 +456,31 @@ class MultiprocessDeployment:
 
     # -- quiescence and observation ---------------------------------------
 
+    @property
+    def now(self) -> float:
+        """Wall seconds since :meth:`start` (the telemetry clock)."""
+        if self._t0 is None:
+            return 0.0
+        return time.monotonic() - self._t0
+
+    def _live_ids(self) -> List[str]:
+        return [
+            broker_id
+            for broker_id in self.broker_ids
+            if self._procs.get(broker_id) is not None
+            and self._procs[broker_id].is_alive()
+        ]
+
     def settle(self, timeout: float = 30.0) -> bool:
-        """Poll every process until no broker handles a new message —
-        and no frame awaits an ack — for a short grace period."""
+        """Poll every live process until no broker handles a new
+        message — and no frame awaits an ack — for a short grace
+        period.  With telemetry enabled the poll loop doubles as the
+        sampler: one sampling sweep piggybacks on the control channel
+        every plane interval."""
 
         def totals():
             handled, pending = [], 0
-            for broker_id in self.broker_ids:
+            for broker_id in self._live_ids():
                 h, p, d = self._rpc(broker_id, "probe")
                 handled.append((h, d))
                 pending += p
@@ -395,28 +489,122 @@ class MultiprocessDeployment:
         deadline = time.time() + scaled(timeout)
         # The probe's pending count covers both halves of a reliable
         # exchange (sent-but-unacked and acked-but-not-dispatched, see
-        # _Connection), so a frame can never hide between an ack and its
-        # dispatch; the grace only has to outlast the probe's own
-        # cross-process snapshot skew.
+        # _Connection) plus the inbox backlog, so a frame can never
+        # hide between an ack and its dispatch; the grace only has to
+        # outlast the probe's own cross-process snapshot skew.
         grace = scaled(0.05)
+        self._maybe_sample()
         last, pending = totals()
         stable_since = time.time()
         while time.time() < deadline:
             time.sleep(0.02)
+            self._maybe_sample()
             current, pending = totals()
             if current != last:
                 last = current
                 stable_since = time.time()
             elif pending == 0 and time.time() - stable_since > grace:
+                self._maybe_sample()
                 return True
         return False
+
+    # -- telemetry ---------------------------------------------------------
+
+    def enable_telemetry(self, plane=None, interval: float = 0.25, **kwargs):
+        """Turn on the live telemetry plane.  Sampling frames piggyback
+        on the control pipes: every :meth:`settle` poll (or an explicit
+        :meth:`sample_telemetry`) sweeps the children at most once per
+        plane interval.  Health transitions ask the affected child to
+        dump its flight ring (when ``flight_dir`` is configured)."""
+        from repro.obs.telemetry import TelemetryPlane
+
+        if self.telemetry is not None:
+            return self.telemetry
+        if plane is None:
+            plane = TelemetryPlane(
+                registry=self.metrics, interval=interval, **kwargs
+            )
+        self.telemetry = plane
+        plane.add_transition_hook(self._on_health_transition)
+        return plane
+
+    def _on_health_transition(self, broker_id, previous, state, rule, sample):
+        if self.flight_dir is None:
+            return
+        try:
+            self._rpc(
+                broker_id, "flight_dump",
+                "health-%s-%s" % (broker_id, state), timeout=10.0,
+            )
+        except (RoutingError, OSError, BrokenPipeError):
+            pass
+
+    def _maybe_sample(self):
+        if self.telemetry is None:
+            return
+        now = self.now
+        if (
+            self._last_sample is not None
+            and now - self._last_sample < self.telemetry.interval
+        ):
+            return
+        self.sample_telemetry()
+
+    def sample_telemetry(self):
+        """One sampling sweep: ask every live child for its gauge and
+        counter frame over the control pipe and feed the plane."""
+        plane = self.telemetry
+        if plane is None:
+            return
+        now = self.now
+        self._last_sample = now
+        plane.maybe_record_cluster(now)
+        degraded = 1.0 if any(
+            getattr(a, "stateless_recoveries", None)
+            for a in self._auditors
+        ) else 0.0
+        for broker_id in self._live_ids():
+            try:
+                gauges, counters = self._rpc(
+                    broker_id, "telemetry", timeout=10.0
+                )
+            except (RoutingError, OSError, BrokenPipeError):
+                continue
+            gauges["audit_degraded"] = degraded
+            plane.record(broker_id, now, gauges=gauges, counters=counters)
+
+    def broker_errors(self) -> Dict[str, List[str]]:
+        """Handler tracebacks collected by each live child's
+        dispatcher."""
+        return {
+            broker_id: self._rpc(broker_id, "errors")
+            for broker_id in self._live_ids()
+        }
+
+    def crash_broker(self, broker_id: str, timeout: float = 10.0):
+        """Hard-kill one child the supervised-abort way: it dumps its
+        flight ring (when ``flight_dir`` is configured) and exits
+        without cleanup — peers see a dead listener, exactly like a
+        real node failure.  Returns when the process is gone."""
+        pipe = self._pipes[broker_id]
+        try:
+            pipe.send(("crash",))
+            if pipe.poll(scaled(timeout)):
+                pipe.recv()
+        except (OSError, BrokenPipeError, EOFError):
+            pass
+        process = self._procs[broker_id]
+        process.join(timeout=scaled(timeout))
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=scaled(timeout))
 
     def drain_deliveries(self) -> int:
         """Pull buffered deliveries out of every child, deduplicate
         them per subscriber, and feed fresh ones to the auditors.
         Returns the number of fresh deliveries folded in."""
         fresh = 0
-        for broker_id in self.broker_ids:
+        for broker_id in self._live_ids():
             for client_id, obj in self._rpc(broker_id, "drain_deliveries"):
                 view = obj.pop("view", None) if isinstance(obj, dict) else None
                 message = message_from_obj(obj)
@@ -460,7 +648,7 @@ class MultiprocessDeployment:
 
     def transport_stats(self) -> Dict[str, int]:
         totals: Dict[str, int] = {}
-        for broker_id in self.broker_ids:
+        for broker_id in self._live_ids():
             for key, value in self._rpc(broker_id, "transport_stats").items():
                 totals[key] = totals.get(key, 0) + value
         return totals

@@ -427,9 +427,10 @@ class TestExporters:
         registry = MetricsRegistry(enabled=True)
         overlay.tracing.publish_stage_metrics(registry)
         text = obs.to_prometheus(registry)
-        assert "# TYPE repro_trace_stage_hop summary" in text
-        assert 'repro_trace_stage_hop{quantile="0.5"}' in text
+        assert "# TYPE repro_trace_stage_hop histogram" in text
+        assert 'repro_trace_stage_hop_bucket{le="+Inf"}' in text
         assert "repro_trace_stage_hop_count" in text
+        assert "repro_trace_stage_hop_sum" in text
 
 
 class TestSocketDeployment:
